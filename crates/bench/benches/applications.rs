@@ -1,0 +1,51 @@
+//! Benches regenerating the application-QoE results (Fig. 16, Fig. 17,
+//! Fig. 18, Fig. 19, Fig. 20).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_core::apps::video::{Resolution, SceneKind, VideoSession};
+use fiveg_core::apps::web::{load_page, PageCategory, WebPage};
+use fiveg_core::experiments::application;
+use fiveg_core::net::path::{Direction, PaperPathParams, PathConfig};
+use fiveg_core::simcore::{SimDuration, SimRng};
+use fiveg_core::transport::CcAlgorithm;
+use fiveg_core::Fidelity;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("applications");
+    g.sample_size(10);
+    g.bench_function("fig16_single_page_load_5g", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let page = WebPage::sample(PageCategory::Shopping, &mut rng);
+            let path = PathConfig::paper(&PaperPathParams::nr_day(), Direction::Downlink);
+            let cross = path.paper_cross_traffic();
+            black_box(load_page(
+                page,
+                path,
+                Some(cross),
+                CcAlgorithm::Bbr,
+                1.5,
+                9,
+                SimDuration::from_secs(30),
+            ))
+        })
+    });
+    g.bench_function("fig18_4k_session_5s", |b| {
+        b.iter(|| {
+            let session = VideoSession {
+                duration: SimDuration::from_secs(5),
+                ..VideoSession::paper(Resolution::K4, SceneKind::Static)
+            };
+            let path = PathConfig::paper(&PaperPathParams::nr_ul(), Direction::Uplink);
+            black_box(session.run(path, None, 11))
+        })
+    });
+    g.finish();
+    println!("{}", application::fig16(Fidelity::Quick, 1).to_text());
+    println!("{}", application::fig17(1).to_text());
+    println!("{}", application::video_study(Fidelity::Quick, 1).to_text());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

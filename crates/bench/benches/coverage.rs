@@ -1,0 +1,37 @@
+//! Benches regenerating the coverage results (Tab. 1, Tab. 2, Fig. 2a/b,
+//! Fig. 3). Each iteration runs the full campaign; the printed summary
+//! after the run is the paper-vs-measured comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_core::experiments::coverage;
+use fiveg_core::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sc = Scenario::paper(2020);
+    let mut g = c.benchmark_group("coverage");
+    g.sample_size(10);
+    g.bench_function("table1_road_survey", |b| {
+        b.iter(|| black_box(coverage::table1(&sc)))
+    });
+    g.bench_function("table2_rsrp_distribution", |b| {
+        b.iter(|| black_box(coverage::table2(&sc, 1000)))
+    });
+    g.bench_function("fig2a_rsrp_map", |b| {
+        b.iter(|| black_box(coverage::fig2a(&sc, 40.0)))
+    });
+    g.bench_function("fig2b_cell_contour", |b| {
+        b.iter(|| black_box(coverage::fig2b(&sc)))
+    });
+    g.bench_function("fig3_indoor_outdoor", |b| {
+        b.iter(|| black_box(coverage::fig3(&sc)))
+    });
+    g.finish();
+    // Print the paper-vs-measured summary once.
+    println!("{}", coverage::table1(&sc).to_text());
+    println!("{}", coverage::table2(&sc, 4630).to_text());
+    println!("{}", coverage::fig3(&sc).to_text());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Benches regenerating the energy results (Fig. 21, Fig. 22, Fig. 23,
+//! Tab. 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_core::experiments::energy;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("energy");
+    g.bench_function("fig21_breakdowns", |b| b.iter(|| black_box(energy::fig21(60))));
+    g.bench_function("fig22_energy_per_bit", |b| b.iter(|| black_box(energy::fig22())));
+    g.bench_function("fig23_power_trace", |b| b.iter(|| black_box(energy::fig23())));
+    g.bench_function("table4_strategy_matrix", |b| b.iter(|| black_box(energy::table4())));
+    g.finish();
+    println!("{}", energy::fig21(60).to_text());
+    println!("{}", energy::fig22().to_text());
+    println!("{}", energy::fig23().to_text());
+    println!("{}", energy::table4().to_text());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

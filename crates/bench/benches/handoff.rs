@@ -1,0 +1,39 @@
+//! Benches regenerating the hand-off results (Fig. 4, Fig. 5, Fig. 6,
+//! Fig. 12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_core::experiments::handoff;
+use fiveg_core::{Fidelity, Scenario};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sc = Scenario::paper(2020);
+    let mut g = c.benchmark_group("handoff");
+    g.sample_size(10);
+    g.bench_function("fig4_rsrq_transect", |b| {
+        b.iter(|| black_box(handoff::fig4(&sc)))
+    });
+    g.bench_function("fig5_fig6_campaign_1min", |b| {
+        // One simulated minute of campaign per iteration.
+        b.iter(|| {
+            let rwp = fiveg_geo::mobility::RandomWaypoint {
+                speed_min_kmh: 3.0,
+                speed_max_kmh: 10.0,
+                duration: fiveg_core::simcore::SimDuration::from_secs(60),
+                interval: fiveg_core::simcore::SimDuration::from_millis(100),
+            };
+            let mut rng = sc.rng("bench-ho");
+            let trace = rwp.generate(&sc.campus.map, &mut rng);
+            black_box(fiveg_core::ran::HandoffCampaign::default().run(&sc.env, &trace, &mut rng))
+        })
+    });
+    g.bench_function("fig12_ho_throughput_drop", |b| {
+        b.iter(|| black_box(handoff::fig12(&sc, 1)))
+    });
+    g.finish();
+    println!("{}", handoff::handoff_study(&sc, Fidelity::Quick).to_text());
+    println!("{}", handoff::fig12(&sc, 3).to_text());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

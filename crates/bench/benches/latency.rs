@@ -1,0 +1,26 @@
+//! Benches regenerating the latency results (Fig. 13, Fig. 14, Fig. 15).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_core::experiments::latency;
+use fiveg_core::Fidelity;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency");
+    g.bench_function("fig13_rtt_scatter", |b| {
+        b.iter(|| black_box(latency::fig13(Fidelity::Quick, 1)))
+    });
+    g.bench_function("fig14_traceroute", |b| {
+        b.iter(|| black_box(latency::fig14(2, 30)))
+    });
+    g.bench_function("fig15_rtt_vs_distance", |b| {
+        b.iter(|| black_box(latency::fig15(Fidelity::Quick, 3)))
+    });
+    g.finish();
+    println!("{}", latency::fig13(Fidelity::Paper, 1).to_text());
+    println!("{}", latency::fig14(2, 100).to_text());
+    println!("{}", latency::fig15(Fidelity::Paper, 3).to_text());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benches regenerating the transport results (Fig. 7, Fig. 8, Fig. 9,
+//! Fig. 10, Fig. 11, Tab. 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_core::experiments::throughput;
+use fiveg_core::net::path::PaperPathParams;
+use fiveg_core::transport::CcAlgorithm;
+use fiveg_core::Fidelity;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput");
+    g.sample_size(10);
+    // One 3-second 5G flow per protocol per iteration.
+    for alg in [CcAlgorithm::Cubic, CcAlgorithm::Bbr, CcAlgorithm::Vegas] {
+        g.bench_function(format!("fig7_5g_{}_3s", alg.name()), |b| {
+            b.iter(|| {
+                black_box(throughput::tcp_goodput(
+                    &PaperPathParams::nr_day(),
+                    alg,
+                    3,
+                    42,
+                ))
+            })
+        });
+    }
+    g.bench_function("fig9_udp_probe_halfload_3s", |b| {
+        b.iter(|| {
+            use fiveg_core::net::path::{Direction, PathConfig};
+            let p = PaperPathParams::nr_day();
+            let path = PathConfig::paper(&p, Direction::Downlink);
+            let cross = path.paper_cross_traffic();
+            black_box(fiveg_core::transport::udp::udp_probe(
+                path,
+                Some(cross),
+                fiveg_core::simcore::BitRate::from_mbps(440.0),
+                fiveg_core::simcore::SimDuration::from_secs(3),
+                7,
+            ))
+        })
+    });
+    g.bench_function("fig10_harq_10k_blocks", |b| {
+        b.iter(|| black_box(throughput::fig10(5, 10_000)))
+    });
+    g.finish();
+    println!("{}", throughput::fig7(Fidelity::Quick, 42).to_text());
+    println!("{}", throughput::fig9(Fidelity::Quick, 42).to_text());
+    println!("{}", throughput::fig10(42, 50_000).to_text());
+    println!("{}", throughput::fig11(Fidelity::Quick, 42).to_text());
+    println!("{}", throughput::table3(Fidelity::Quick, 42).to_text());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

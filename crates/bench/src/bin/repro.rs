@@ -1,0 +1,118 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--paper] [--out DIR]
+//! ```
+//!
+//! By default runs at Quick fidelity and writes text + JSON artifacts to
+//! `./repro-out/`. `--paper` switches to the paper's methodology scale
+//! (60 s flows, 5 repetitions, 80-minute hand-off campaign) — expect it
+//! to take a while.
+
+use fiveg_bench::write_artifact;
+use fiveg_core::experiments::{application, coverage, discussion, energy, handoff, latency, throughput};
+use fiveg_core::{Fidelity, Scenario};
+use serde::Serialize;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fidelity = if args.iter().any(|a| a == "--paper") {
+        Fidelity::Paper
+    } else {
+        Fidelity::Quick
+    };
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("repro-out"));
+    let seed = 2020;
+    let sc = Scenario::paper(seed);
+
+    println!("fiveg repro — fidelity {fidelity:?}, seed {seed}, output {}\n", out.display());
+
+    let mut emit = |name: &str, text: String, json: String| {
+        print!("{text}");
+        if let Err(e) = write_artifact(&out, &format!("{name}.txt"), &text) {
+            eprintln!("warn: could not write {name}.txt: {e}");
+        }
+        if let Err(e) = write_artifact(&out, &format!("{name}.json"), &json) {
+            eprintln!("warn: could not write {name}.json: {e}");
+        }
+        println!();
+    };
+
+    fn json<T: Serialize>(v: &T) -> String {
+        serde_json::to_string_pretty(v).expect("experiment results serialise")
+    }
+
+    // --- Sec. 3: coverage ---
+    let t1 = coverage::table1(&sc);
+    emit("table1", t1.to_text(), json(&t1));
+    let t2 = coverage::table2(&sc, 4630);
+    emit("table2", t2.to_text(), json(&t2));
+    let f2a = coverage::fig2a(&sc, 20.0);
+    emit("fig2a", f2a.to_text(), json(&f2a));
+    let f2b = coverage::fig2b(&sc);
+    emit("fig2b", f2b.to_text(), json(&f2b));
+    let f3 = coverage::fig3(&sc);
+    emit("fig3", f3.to_text(), json(&f3));
+
+    // --- Sec. 3.4: hand-off ---
+    let f4 = handoff::fig4(&sc);
+    emit("fig4", f4.to_text(), json(&f4));
+    let study = handoff::handoff_study(&sc, fidelity);
+    emit("fig5_fig6", study.to_text(), json(&study));
+    let f12 = handoff::fig12(&sc, if fidelity == Fidelity::Paper { 30 } else { 5 });
+    emit("fig12", f12.to_text(), json(&f12));
+
+    // --- Sec. 4: throughput & loss ---
+    let f7 = throughput::fig7(fidelity, seed);
+    emit("fig7", f7.to_text(), json(&f7));
+    let f8 = throughput::fig8(fidelity, seed);
+    emit("fig8", f8.to_text(), json(&f8));
+    let f9 = throughput::fig9(fidelity, seed);
+    emit("fig9", f9.to_text(), json(&f9));
+    let f10 = throughput::fig10(seed, 100_000);
+    emit("fig10", f10.to_text(), json(&f10));
+    let f11 = throughput::fig11(fidelity, seed);
+    emit("fig11", f11.to_text(), json(&f11));
+    let t3 = throughput::table3(fidelity, seed);
+    emit("table3", t3.to_text(), json(&t3));
+
+    // --- Sec. 4.4: latency ---
+    let f13 = latency::fig13(fidelity, seed);
+    emit("fig13", f13.to_text(), json(&f13));
+    let f14 = latency::fig14(seed, 100);
+    emit("fig14", f14.to_text(), json(&f14));
+    let f15 = latency::fig15(fidelity, seed);
+    emit("fig15", f15.to_text(), json(&f15));
+
+    // --- Sec. 5: applications ---
+    let f16 = application::fig16(fidelity, seed);
+    emit("fig16", f16.to_text(), json(&f16));
+    let f17 = application::fig17(seed);
+    emit("fig17", f17.to_text(), json(&f17));
+    let video = application::video_study(fidelity, seed);
+    emit("fig18_19_20", video.to_text(), json(&video));
+
+    // --- Sec. 6: energy ---
+    let f21 = energy::fig21(60);
+    emit("fig21", f21.to_text(), json(&f21));
+    let f22 = energy::fig22();
+    emit("fig22", f22.to_text(), json(&f22));
+    let f23 = energy::fig23();
+    emit("fig23", f23.to_text(), json(&f23));
+    let t4 = energy::table4();
+    emit("table4", t4.to_text(), json(&t4));
+
+    // --- Sec. 8: discussion ---
+    let cpe = discussion::cpe_study(&sc);
+    emit("sec8_cpe_dsl", cpe.to_text(), json(&cpe));
+
+    println!("done: artifacts in {}", out.display());
+}

@@ -1,0 +1,378 @@
+//! Application QoE experiments: Fig. 16, Fig. 17, Fig. 18, Fig. 19,
+//! Fig. 20.
+
+use crate::report;
+use crate::scenario::Fidelity;
+use fiveg_apps::video::{PipelineLatency, Resolution, SceneKind, VideoSession};
+use fiveg_apps::web::{load_page, ImagePage, PageCategory, WebPage};
+use fiveg_net::path::{Direction, PaperPathParams, PathConfig};
+use fiveg_simcore::{SimDuration, SimRng};
+use fiveg_transport::CcAlgorithm;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 16: PLT per page category, 4G vs 5G, split download/render.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig16 {
+    /// `(category, tech, download_s, render_s)` means.
+    pub rows: Vec<(String, String, f64, f64)>,
+}
+
+impl Fig16 {
+    /// Mean PLT across categories for one tech.
+    pub fn mean_plt(&self, tech: &str) -> f64 {
+        let v: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|(_, t, ..)| t == tech)
+            .map(|&(.., d, r)| d + r)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    }
+
+    /// The 5G PLT reduction over 4G.
+    pub fn plt_reduction(&self) -> f64 {
+        1.0 - self.mean_plt("5G") / self.mean_plt("4G")
+    }
+
+    /// Renders the figure.
+    pub fn to_text(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(c, t, d, r)| {
+                vec![
+                    c.clone(),
+                    t.clone(),
+                    format!("{d:.2}"),
+                    format!("{r:.2}"),
+                    format!("{:.2}", d + r),
+                ]
+            })
+            .collect();
+        let mut s = report::table(
+            "Fig. 16: page-load time by category (s)",
+            &["category", "tech", "download", "render", "PLT"],
+            &rows,
+        );
+        s += &report::compare(
+            "5G PLT reduction",
+            crate::calib::PAPER_PLT_REDUCTION * 100.0,
+            self.plt_reduction() * 100.0,
+            "%",
+        );
+        s.push('\n');
+        s
+    }
+}
+
+/// Runs Fig. 16: `pages_per_category` loads per category and tech.
+pub fn fig16(fidelity: Fidelity, seed: u64) -> Fig16 {
+    let pages = match fidelity {
+        Fidelity::Quick => 3,
+        Fidelity::Paper => 10,
+    };
+    let mut rng = SimRng::new(seed).substream("fig16");
+    let mut rows = Vec::new();
+    for cat in PageCategory::ALL {
+        for (tech, params) in [
+            ("4G", PaperPathParams::lte_day()),
+            ("5G", PaperPathParams::nr_day()),
+        ] {
+            let mut dl = 0.0;
+            let mut rd = 0.0;
+            let mut n = 0;
+            for i in 0..pages {
+                let page = WebPage::sample(cat, &mut rng);
+                let render = cat.render_seconds(page.size_bytes as f64 / 1e6);
+                let path = PathConfig::paper(&params, Direction::Downlink);
+                let cross = path.paper_cross_traffic();
+                if let Some(r) = load_page(
+                    page,
+                    path,
+                    Some(cross),
+                    CcAlgorithm::Bbr,
+                    render,
+                    seed ^ (i as u64) << 3,
+                    SimDuration::from_secs(60),
+                ) {
+                    dl += r.download.as_secs_f64();
+                    rd += r.render.as_secs_f64();
+                    n += 1;
+                }
+            }
+            rows.push((
+                cat.label().to_owned(),
+                tech.to_owned(),
+                dl / n.max(1) as f64,
+                rd / n.max(1) as f64,
+            ));
+        }
+    }
+    Fig16 { rows }
+}
+
+/// Fig. 17: PLT vs image size (1–16 MB).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig17 {
+    /// `(image MB, tech, download_s, render_s)`.
+    pub rows: Vec<(u64, String, f64, f64)>,
+}
+
+impl Fig17 {
+    /// Mean download-time reduction of 5G over 4G.
+    pub fn download_reduction(&self) -> f64 {
+        let mean = |tech: &str| {
+            let v: Vec<f64> = self
+                .rows
+                .iter()
+                .filter(|(_, t, ..)| t == tech)
+                .map(|&(.., d, _)| d)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        1.0 - mean("5G") / mean("4G")
+    }
+
+    /// Renders the figure.
+    pub fn to_text(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(mb, t, d, r)| {
+                vec![
+                    format!("{mb} MB"),
+                    t.clone(),
+                    format!("{d:.2}"),
+                    format!("{r:.2}"),
+                ]
+            })
+            .collect();
+        let mut s = report::table(
+            "Fig. 17: image-page PLT (s)",
+            &["image", "tech", "download", "render"],
+            &rows,
+        );
+        s += &report::compare(
+            "5G download reduction",
+            crate::calib::PAPER_DL_REDUCTION * 100.0,
+            self.download_reduction() * 100.0,
+            "%",
+        );
+        s.push('\n');
+        s
+    }
+}
+
+/// Runs Fig. 17 over the paper's 1/2/4/8/16 MB image sweep.
+pub fn fig17(seed: u64) -> Fig17 {
+    let mut rows = Vec::new();
+    for mb in [1u64, 2, 4, 8, 16] {
+        let ip = ImagePage { image_mb: mb };
+        for (tech, params) in [
+            ("4G", PaperPathParams::lte_day()),
+            ("5G", PaperPathParams::nr_day()),
+        ] {
+            let path = PathConfig::paper(&params, Direction::Downlink);
+            let cross = path.paper_cross_traffic();
+            let r = load_page(
+                ip.page(),
+                path,
+                Some(cross),
+                CcAlgorithm::Bbr,
+                ip.render_seconds(),
+                seed ^ mb,
+                SimDuration::from_secs(120),
+            )
+            .expect("image pages load within two minutes");
+            rows.push((
+                mb,
+                tech.to_owned(),
+                r.download.as_secs_f64(),
+                r.render.as_secs_f64(),
+            ));
+        }
+    }
+    Fig17 { rows }
+}
+
+/// Fig. 18 + Fig. 19 + Fig. 20: the video-telephony study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VideoStudy {
+    /// `(resolution, scene, tech, offered Mbps, received Mbps, freezes,
+    /// mean frame delay ms)`.
+    pub rows: Vec<(String, String, String, f64, f64, usize, f64)>,
+    /// The 5.7K-dynamic-on-5G 10 ms throughput series (Fig. 19).
+    pub fig19_series: Vec<(f64, f64)>,
+    /// 4K frame-delay series on 5G and 4G (Fig. 20): `(t_s, delay_ms)`.
+    pub fig20_5g: Vec<(f64, f64)>,
+    /// Fig. 20, 4G.
+    pub fig20_4g: Vec<(f64, f64)>,
+}
+
+impl VideoStudy {
+    /// Finds a row.
+    pub fn row(&self, res: &str, scene: &str, tech: &str) -> Option<&(String, String, String, f64, f64, usize, f64)> {
+        self.rows
+            .iter()
+            .find(|(r, s, t, ..)| r == res && s == scene && t == tech)
+    }
+
+    /// Renders Figs. 18–20.
+    pub fn to_text(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(r, sc, t, off, rx, fr, fd)| {
+                vec![
+                    r.clone(),
+                    sc.clone(),
+                    t.clone(),
+                    format!("{off:.0}"),
+                    format!("{rx:.1}"),
+                    format!("{fr}"),
+                    format!("{fd:.0}"),
+                ]
+            })
+            .collect();
+        let mut s = report::table(
+            "Fig. 18/20: video sessions",
+            &["res", "scene", "tech", "offered", "received", "freezes", "frame delay ms"],
+            &rows,
+        );
+        if let Some(r) = self.row("4K", "static", "5G") {
+            s += &report::compare(
+                "4K frame delay on 5G",
+                crate::calib::PAPER_FRAME_DELAY_5G_MS,
+                r.6,
+                "ms",
+            );
+            s.push('\n');
+        }
+        s += &format!(
+            "Fig. 19: 5.7K dynamic series has {} samples\n",
+            self.fig19_series.len()
+        );
+        s
+    }
+}
+
+/// Runs the video study (Figs. 18–20).
+pub fn video_study(fidelity: Fidelity, seed: u64) -> VideoStudy {
+    let duration = match fidelity {
+        Fidelity::Quick => SimDuration::from_secs(10),
+        Fidelity::Paper => SimDuration::from_secs(30),
+    };
+    let mut rows = Vec::new();
+    let mut fig19_series = Vec::new();
+    let mut fig20_5g = Vec::new();
+    let mut fig20_4g = Vec::new();
+    for res in Resolution::ALL {
+        for scene in [SceneKind::Static, SceneKind::Dynamic] {
+            for (tech, params) in [
+                ("4G", PaperPathParams::lte_ul_day()),
+                ("5G", PaperPathParams::nr_ul()),
+            ] {
+                let session = VideoSession {
+                    resolution: res,
+                    scene,
+                    duration,
+                    pipeline: PipelineLatency::paper(),
+                };
+                let path = PathConfig::paper(&params, Direction::Uplink);
+                let r = session.run(path, None, seed ^ (res as u64) << 4 ^ (scene as u64));
+                let scene_label = match scene {
+                    SceneKind::Static => "static",
+                    SceneKind::Dynamic => "dynamic",
+                };
+                if res == Resolution::K57 && scene == SceneKind::Dynamic && tech == "5G" {
+                    fig19_series = r
+                        .throughput_10ms
+                        .iter()
+                        .map(|&(t, m)| (t.as_secs_f64(), m))
+                        .collect();
+                }
+                if res == Resolution::K4 && scene == SceneKind::Static {
+                    let series: Vec<(f64, f64)> = r
+                        .frame_delays
+                        .iter()
+                        .map(|&(t, d)| (t.as_secs_f64(), d.as_millis_f64()))
+                        .collect();
+                    if tech == "5G" {
+                        fig20_5g = series;
+                    } else {
+                        fig20_4g = series;
+                    }
+                }
+                rows.push((
+                    res.label().to_owned(),
+                    scene_label.to_owned(),
+                    tech.to_owned(),
+                    r.offered_mbps,
+                    r.mean_received_mbps,
+                    r.freezes,
+                    r.mean_frame_delay().as_millis_f64(),
+                ));
+            }
+        }
+    }
+    VideoStudy {
+        rows,
+        fig19_series,
+        fig20_5g,
+        fig20_4g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig16_5g_gains_little() {
+        let f = fig16(Fidelity::Quick, 1);
+        assert_eq!(f.rows.len(), 10);
+        let red = f.plt_reduction();
+        // Paper: ≈5 %. Anything under ~30 % supports the claim that the
+        // 5× capacity does not translate into PLT.
+        assert!((-0.05..0.30).contains(&red), "PLT reduction {red}");
+        // Rendering dominates for every category on 5G.
+        for (cat, tech, d, r) in &f.rows {
+            if tech == "5G" {
+                assert!(r > d, "{cat}: render {r} vs download {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig17_download_gain_below_capacity_ratio() {
+        let f = fig17(2);
+        let red = f.download_reduction();
+        assert!((0.0..0.75).contains(&red), "download reduction {red}");
+        // Larger images gain more from 5G than small ones.
+        let d = |mb: u64, tech: &str| {
+            f.rows
+                .iter()
+                .find(|(m, t, ..)| *m == mb && t == tech)
+                .map(|&(.., d, _)| d)
+                .unwrap()
+        };
+        let small_gain = 1.0 - d(1, "5G") / d(1, "4G");
+        let big_gain = 1.0 - d(16, "5G") / d(16, "4G");
+        assert!(big_gain > small_gain, "{big_gain} vs {small_gain}");
+    }
+
+    #[test]
+    fn video_study_reproduces_headlines() {
+        let v = video_study(Fidelity::Quick, 3);
+        // 5G carries 5.7K static; 4G does not.
+        let r5 = v.row("5.7K", "static", "5G").unwrap();
+        let r4 = v.row("5.7K", "static", "4G").unwrap();
+        assert!(r5.4 > 0.8 * r5.3, "5G carried {} of {}", r5.4, r5.3);
+        assert!(r4.4 < 0.85 * r4.3, "4G carried {} of {}", r4.4, r4.3);
+        // 4K frame delay on 5G near the paper's 950 ms.
+        let k4 = v.row("4K", "static", "5G").unwrap();
+        assert!((650.0..1500.0).contains(&k4.6), "frame delay {}", k4.6);
+        assert!(!v.fig19_series.is_empty());
+        assert!(!v.fig20_5g.is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! One function per table and figure of the paper's evaluation.
+//!
+//! Naming follows the paper: `table1`, `fig2a`, ..., `table4`. Each
+//! function takes the [`crate::Scenario`] (or builds paths directly),
+//! runs the corresponding campaign and returns a typed, serialisable
+//! result with a `to_text()` renderer. The `repro` binary in
+//! `fiveg-bench` executes all of them and writes both text and JSON.
+
+pub mod application;
+pub mod coverage;
+pub mod discussion;
+pub mod energy;
+pub mod handoff;
+pub mod latency;
+pub mod throughput;

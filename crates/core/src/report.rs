@@ -1,0 +1,91 @@
+//! Text rendering helpers for experiment outputs.
+
+use fiveg_simcore::Cdf;
+use std::fmt::Write;
+
+/// Renders a simple aligned table.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
+    let _ = writeln!(out, "{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+    out
+}
+
+/// Renders a CDF as a fixed set of quantiles, the way figure series are
+/// reported in text.
+pub fn cdf_line(name: &str, cdf: &Cdf, unit: &str) -> String {
+    if cdf.is_empty() {
+        return format!("{name}: (no samples)");
+    }
+    format!(
+        "{name}: n={} p10={:.2} p25={:.2} p50={:.2} p75={:.2} p90={:.2} mean={:.2} {unit}",
+        cdf.len(),
+        cdf.quantile(0.10),
+        cdf.quantile(0.25),
+        cdf.quantile(0.50),
+        cdf.quantile(0.75),
+        cdf.quantile(0.90),
+        cdf.mean(),
+    )
+}
+
+/// Formats a paper-vs-measured comparison line.
+pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) -> String {
+    let rel = if paper.abs() > 1e-12 {
+        format!("{:+.1} %", (measured - paper) / paper * 100.0)
+    } else {
+        "n/a".to_owned()
+    };
+    format!("{label:<42} paper {paper:>10.2} {unit:<6} measured {measured:>10.2} {unit:<6} ({rel})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            "T",
+            &["a", "long"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(t.contains("== T =="));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn cdf_line_renders() {
+        let c = Cdf::from_samples((0..100).map(|i| i as f64).collect());
+        let s = cdf_line("lat", &c, "ms");
+        assert!(s.contains("n=100"));
+        assert!(s.contains("p50=49.50"));
+    }
+
+    #[test]
+    fn compare_formats_relative() {
+        let s = compare("x", 100.0, 110.0, "ms");
+        assert!(s.contains("+10.0 %"), "{s}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # fiveg-geo
+//!
+//! Geometry and mobility substrate for the fiveg workspace.
+//!
+//! The paper's coverage study (Sec. 3) was conducted on a 0.5 km × 0.92 km
+//! university campus with brick/concrete buildings, a road network walked
+//! at 4–5 km/h, 6 NSA gNB sites and 13 LTE eNB sites. This crate provides
+//! the synthetic equivalent:
+//!
+//! * [`point`] — 2-D points, segments, rectangles (metres).
+//! * [`building`] — building footprints with wall materials and
+//!   segment/footprint intersection tests (wall-crossing counts drive the
+//!   penetration-loss model in `fiveg-phy`).
+//! * [`map`] — the campus map: bounds, buildings, roads, line-of-sight and
+//!   indoor queries.
+//! * [`campus`] — deterministic synthetic campus generator matched to the
+//!   paper's dimensions and site densities.
+//! * [`mobility`] — walk/bike mobility models producing timestamped
+//!   position traces (road survey, random waypoint, linear transects).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod building;
+pub mod campus;
+pub mod map;
+pub mod mobility;
+pub mod point;
+
+pub use building::{Building, Material};
+pub use campus::{Campus, CampusConfig, SitePlan};
+pub use map::CampusMap;
+pub use mobility::{LinearTransect, MobilityTrace, RandomWaypoint, RoadSurvey, TracePoint};
+pub use point::{Point, Rect, Segment};

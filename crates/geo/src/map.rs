@@ -1,0 +1,186 @@
+//! The campus map: bounds, buildings and roads, with the spatial queries
+//! the propagation model needs (line of sight, indoor test, ray tracing).
+
+use crate::building::{trace_ray, Building, RayObstruction};
+use crate::point::{Point, Rect, Segment};
+use serde::{Deserialize, Serialize};
+
+/// A road represented as a polyline of waypoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Road {
+    /// Waypoints along the road centreline, in walk order.
+    pub waypoints: Vec<Point>,
+}
+
+impl Road {
+    /// Constructs a road; needs at least two waypoints.
+    pub fn new(waypoints: Vec<Point>) -> Self {
+        assert!(waypoints.len() >= 2, "a road needs at least two waypoints");
+        Road { waypoints }
+    }
+
+    /// Total centreline length, metres.
+    pub fn length(&self) -> f64 {
+        self.waypoints
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum()
+    }
+
+    /// Position at arc-length `s` from the start (clamped to the ends).
+    pub fn at_distance(&self, s: f64) -> Point {
+        if s <= 0.0 {
+            return self.waypoints[0];
+        }
+        let mut remaining = s;
+        for w in self.waypoints.windows(2) {
+            let seg_len = w[0].distance(w[1]);
+            if remaining <= seg_len {
+                let t = if seg_len > 0.0 { remaining / seg_len } else { 0.0 };
+                return w[0].lerp(w[1], t);
+            }
+            remaining -= seg_len;
+        }
+        *self.waypoints.last().expect("non-empty road")
+    }
+}
+
+/// The full campus map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampusMap {
+    /// Campus bounding rectangle.
+    pub bounds: Rect,
+    /// Building footprints.
+    pub buildings: Vec<Building>,
+    /// Road network.
+    pub roads: Vec<Road>,
+}
+
+impl CampusMap {
+    /// Constructs a map.
+    pub fn new(bounds: Rect, buildings: Vec<Building>, roads: Vec<Road>) -> Self {
+        CampusMap {
+            bounds,
+            buildings,
+            roads,
+        }
+    }
+
+    /// Whether `p` is indoors (inside any building footprint).
+    pub fn is_indoor(&self, p: Point) -> bool {
+        self.buildings.iter().any(|b| b.contains(p))
+    }
+
+    /// Whether a straight ray from `a` to `b` is line-of-sight (touches no
+    /// building).
+    pub fn has_los(&self, a: Point, b: Point) -> bool {
+        let seg = Segment::new(a, b);
+        !self.buildings.iter().any(|bl| bl.blocks(seg))
+    }
+
+    /// Traces the ray from `a` to `b`, reporting every wall crossed with
+    /// its material. Drives the penetration/diffraction loss model.
+    pub fn trace(&self, a: Point, b: Point) -> RayObstruction {
+        trace_ray(&self.buildings, Segment::new(a, b))
+    }
+
+    /// Total road length, metres.
+    pub fn total_road_length(&self) -> f64 {
+        self.roads.iter().map(Road::length).sum()
+    }
+
+    /// Uniform grid of sample points over the bounds with spacing `step`,
+    /// optionally restricted to outdoor locations.
+    pub fn grid_samples(&self, step: f64, outdoor_only: bool) -> Vec<Point> {
+        assert!(step > 0.0, "grid step must be positive");
+        let mut out = Vec::new();
+        let mut y = self.bounds.min.y + step / 2.0;
+        while y < self.bounds.max.y {
+            let mut x = self.bounds.min.x + step / 2.0;
+            while x < self.bounds.max.x {
+                let p = Point::new(x, y);
+                if !outdoor_only || !self.is_indoor(p) {
+                    out.push(p);
+                }
+                x += step;
+            }
+            y += step;
+        }
+        out
+    }
+
+    /// Campus area, square kilometres.
+    pub fn area_km2(&self) -> f64 {
+        self.bounds.area() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building::Material;
+
+    fn simple_map() -> CampusMap {
+        let bounds = Rect::from_origin_size(Point::new(0.0, 0.0), 100.0, 100.0);
+        let b = Building::new(
+            Rect::from_origin_size(Point::new(40.0, 40.0), 20.0, 20.0),
+            Material::Concrete,
+            20.0,
+        );
+        let road = Road::new(vec![
+            Point::new(0.0, 10.0),
+            Point::new(100.0, 10.0),
+            Point::new(100.0, 90.0),
+        ]);
+        CampusMap::new(bounds, vec![b], vec![road])
+    }
+
+    #[test]
+    fn indoor_detection() {
+        let m = simple_map();
+        assert!(m.is_indoor(Point::new(50.0, 50.0)));
+        assert!(!m.is_indoor(Point::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn los_blocked_by_building() {
+        let m = simple_map();
+        assert!(!m.has_los(Point::new(30.0, 50.0), Point::new(70.0, 50.0)));
+        assert!(m.has_los(Point::new(0.0, 0.0), Point::new(100.0, 0.0)));
+    }
+
+    #[test]
+    fn trace_reports_material() {
+        let m = simple_map();
+        let obs = m.trace(Point::new(30.0, 50.0), Point::new(70.0, 50.0));
+        assert_eq!(obs.total_walls(), 2);
+        assert_eq!(obs.crossings[0].0, Material::Concrete);
+    }
+
+    #[test]
+    fn road_geometry() {
+        let m = simple_map();
+        assert!((m.total_road_length() - 180.0).abs() < 1e-9);
+        let r = &m.roads[0];
+        assert_eq!(r.at_distance(0.0), Point::new(0.0, 10.0));
+        assert_eq!(r.at_distance(50.0), Point::new(50.0, 10.0));
+        assert_eq!(r.at_distance(150.0), Point::new(100.0, 60.0));
+        assert_eq!(r.at_distance(1e9), Point::new(100.0, 90.0));
+    }
+
+    #[test]
+    fn grid_sampling_excludes_indoor() {
+        let m = simple_map();
+        let all = m.grid_samples(10.0, false);
+        let outdoor = m.grid_samples(10.0, true);
+        assert_eq!(all.len(), 100);
+        assert!(outdoor.len() < all.len());
+        assert!(outdoor.iter().all(|&p| !m.is_indoor(p)));
+    }
+
+    #[test]
+    fn area() {
+        let m = simple_map();
+        assert!((m.area_km2() - 0.01).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,863 @@
+//! The packet-level event loop.
+//!
+//! A [`NetSim`] owns a forward path (chain of [`Hop`]s), a set of flows
+//! (each a sender [`Endpoint`] plus a built-in receiver that generates
+//! cumulative ACKs over a fixed-delay reverse channel), and optional
+//! cross-traffic. Transport protocols live in `fiveg-transport` and plug
+//! in through the [`Endpoint`] trait.
+//!
+//! Design notes (smoltcp school): the world owns all state; events carry
+//! only ids and plain packets; handlers never hold references across
+//! scheduling calls, so the borrow checker stays out of the way and the
+//! execution order is exactly the event order.
+
+use crate::crosstraffic::CrossTraffic;
+use crate::hop::{Hop, HopStats, Queued};
+use crate::packet::{FlowId, Packet, MSS_BYTES};
+use crate::path::PathConfig;
+use fiveg_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Classes of transport timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimerKind {
+    /// Retransmission timeout.
+    Rto,
+    /// Pacing release.
+    Pace,
+    /// Protocol-defined auxiliary timer (probe cycles, app think time...).
+    Aux(u32),
+}
+
+/// Information carried by a (delayed, cumulative) acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AckInfo {
+    /// Next in-order byte expected by the receiver (cumulative ACK).
+    pub cum_ack: u64,
+    /// Highest sequence end received so far (SACK-style hint).
+    pub highest_seq: u64,
+    /// Send timestamp echoed from the packet that triggered this ACK.
+    pub echo_sent_at: SimTime,
+    /// Whether the triggering packet was a retransmission (Karn's rule:
+    /// no RTT sample from it).
+    pub echo_retx: bool,
+    /// Total in-order bytes delivered at the receiver when this ACK left.
+    pub delivered_bytes: u64,
+    /// Up to three SACK blocks: out-of-order `(start, end)` ranges above
+    /// `cum_ack`, ascending (Linux TCP advertises SACK; the paper's
+    /// measurements are SACK TCP throughout).
+    pub sack: [(u64, u64); 3],
+    /// Number of valid entries in `sack`.
+    pub sack_len: u8,
+    /// Exact total of out-of-order bytes held by the receiver (beyond
+    /// the three advertised blocks) — the sender's delivery-rate
+    /// estimator needs the true delivered count, as real TCP gets from
+    /// per-packet send/ack bookkeeping.
+    pub ooo_bytes: u64,
+}
+
+impl AckInfo {
+    /// The valid SACK blocks.
+    pub fn sack_blocks(&self) -> &[(u64, u64)] {
+        &self.sack[..self.sack_len as usize]
+    }
+}
+
+/// A transport sender: the protocol half that lives in `fiveg-transport`.
+pub trait Endpoint {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut Ctx);
+    /// An ACK arrived on the reverse channel.
+    fn on_ack(&mut self, ack: AckInfo, ctx: &mut Ctx);
+    /// A timer set through [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, kind: TimerKind, id: u64, ctx: &mut Ctx);
+}
+
+/// Facilities an [`Endpoint`] may use during a callback.
+pub struct Ctx<'a> {
+    now: SimTime,
+    flow: FlowId,
+    q: &'a mut EventQueue<Ev>,
+    rng: &'a mut SimRng,
+    next_timer_id: &'a mut u64,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Injects a data packet onto the forward path.
+    pub fn send_packet(&mut self, seq: u64, size: u32, retx: bool) {
+        let pkt = Packet {
+            flow: self.flow,
+            seq,
+            size,
+            sent_at: self.now,
+            retx,
+        };
+        self.q.schedule_at(self.now, Ev::Arrive { hop: 0, pkt });
+    }
+
+    /// Arms a timer; returns its id (delivered back in `on_timer`).
+    pub fn set_timer(&mut self, kind: TimerKind, delay: SimDuration) -> u64 {
+        let id = *self.next_timer_id;
+        *self.next_timer_id += 1;
+        self.q.schedule_at(
+            self.now + delay,
+            Ev::Timer {
+                flow: self.flow,
+                kind,
+                id,
+            },
+        );
+        id
+    }
+
+    /// Deterministic randomness for the protocol.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+}
+
+/// Receiver-side accounting for one flow.
+#[derive(Debug)]
+struct Receiver {
+    /// Next in-order byte expected.
+    expected: u64,
+    /// Out-of-order ranges received: start → end.
+    ooo: BTreeMap<u64, u64>,
+    /// Highest seq end seen.
+    highest_seq: u64,
+    /// Whether the flow wants cumulative ACKs (TCP yes, UDP no).
+    wants_acks: bool,
+    /// Whether to log every received sequence number (Fig. 11).
+    record_seqs: bool,
+    /// Rotation cursor over out-of-order ranges for SACK advertisement.
+    sack_rotate: usize,
+    stats: FlowStats,
+}
+
+/// Per-flow delivery statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// In-order bytes delivered.
+    pub bytes_in_order: u64,
+    /// Total payload bytes received (including out-of-order duplicates).
+    pub bytes_received: u64,
+    /// Packets received.
+    pub packets_received: u64,
+    /// Received sequence numbers in arrival order (only when recording).
+    pub seq_log: Vec<u64>,
+    /// Delivered bytes per 10 ms window (index = window number).
+    pub window_bytes: Vec<f64>,
+}
+
+/// Width of the throughput trace windows.
+pub const THROUGHPUT_WINDOW: SimDuration = SimDuration::from_millis(10);
+
+impl FlowStats {
+    /// Mean goodput over `[0, until]`.
+    pub fn mean_goodput_until(&self, until: SimTime) -> fiveg_simcore::BitRate {
+        let secs = until.as_secs_f64();
+        if secs <= 0.0 {
+            return fiveg_simcore::BitRate::ZERO;
+        }
+        fiveg_simcore::BitRate::from_bps(self.bytes_in_order as f64 * 8.0 / secs)
+    }
+
+    /// Throughput series in Mbps per window, as `(window start, mbps)`.
+    pub fn throughput_series(&self) -> Vec<(SimTime, f64)> {
+        let w = THROUGHPUT_WINDOW.as_secs_f64();
+        self.window_bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                (
+                    SimTime::from_secs_f64(i as f64 * w),
+                    b * 8.0 / w / 1e6,
+                )
+            })
+            .collect()
+    }
+}
+
+struct Flow {
+    sender: Box<dyn Endpoint>,
+    receiver: Receiver,
+    started: bool,
+}
+
+/// Internal events.
+enum Ev {
+    Arrive { hop: usize, pkt: Packet },
+    TxDone { hop: usize },
+    RateResume { hop: usize },
+    AckArrive { flow: FlowId, ack: AckInfo },
+    Timer { flow: FlowId, kind: TimerKind, id: u64 },
+    CrossToggle { idx: usize, on: bool },
+    CrossEmit { idx: usize },
+}
+
+/// The network simulator.
+pub struct NetSim {
+    q: EventQueue<Ev>,
+    hops: Vec<Hop>,
+    reverse_delay: SimDuration,
+    flows: Vec<Flow>,
+    cross: Vec<(CrossTraffic, bool)>,
+    rng: SimRng,
+    next_timer_id: u64,
+    /// Packets currently being serialised per hop.
+    in_service: Vec<Option<Queued>>,
+    /// Whether a RateResume probe is pending per hop.
+    resume_pending: Vec<bool>,
+}
+
+impl NetSim {
+    /// Builds a simulator over a path.
+    pub fn new(path: PathConfig, seed: u64) -> Self {
+        let hops: Vec<Hop> = path.hops.into_iter().map(Hop::new).collect();
+        let n = hops.len();
+        assert!(n > 0, "a path needs at least one hop");
+        NetSim {
+            q: EventQueue::new(),
+            hops,
+            reverse_delay: path.reverse_delay,
+            flows: Vec::new(),
+            cross: Vec::new(),
+            rng: SimRng::new(seed),
+            next_timer_id: 0,
+            in_service: (0..n).map(|_| None).collect(),
+            resume_pending: vec![false; n],
+        }
+    }
+
+    /// Registers a flow with the given sender; returns its id.
+    ///
+    /// `wants_acks` enables the receiver's cumulative-ACK generation
+    /// (true for TCP-like senders, false for UDP). `record_seqs` logs
+    /// every received sequence number (memory-heavy; used for the
+    /// loss-pattern figure).
+    pub fn add_flow(&mut self, sender: Box<dyn Endpoint>, wants_acks: bool, record_seqs: bool) -> FlowId {
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(Flow {
+            sender,
+            receiver: Receiver {
+                expected: 0,
+                ooo: BTreeMap::new(),
+                highest_seq: 0,
+                wants_acks,
+                record_seqs,
+                sack_rotate: 0,
+                stats: FlowStats::default(),
+            },
+            started: false,
+        });
+        id
+    }
+
+    /// Attaches a cross-traffic source.
+    pub fn add_cross_traffic(&mut self, ct: CrossTraffic) {
+        assert!(ct.hop < self.hops.len(), "cross-traffic hop out of range");
+        let idx = self.cross.len();
+        self.cross.push((ct, false));
+        // First burst begins after one OFF period.
+        let off = {
+            let (ct, _) = &self.cross[idx];
+            ct.off_ms.sample(&mut self.rng).max(0.0)
+        };
+        self.q.schedule_at(
+            SimTime::ZERO + SimDuration::from_millis_f64(off),
+            Ev::CrossToggle { idx, on: true },
+        );
+    }
+
+    /// Current time.
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// Read-only access to a hop's statistics.
+    pub fn hop_stats(&self, idx: usize) -> &HopStats {
+        &self.hops[idx].stats
+    }
+
+    /// Read-only access to all hops.
+    pub fn hops(&self) -> &[Hop] {
+        &self.hops
+    }
+
+    /// Read-only access to a flow's delivery statistics.
+    pub fn flow_stats(&self, flow: FlowId) -> &FlowStats {
+        &self.flows[flow.0 as usize].receiver.stats
+    }
+
+    /// Runs until `deadline` (inclusive of events at the deadline).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_pending_flows();
+        while let Some(ev) = self.q.pop_until(deadline) {
+            self.dispatch(ev.payload);
+        }
+        self.q.advance_to(deadline);
+    }
+
+    /// Runs until `flow` has `bytes` delivered in order, or `deadline`
+    /// passes. Returns the delivery time if reached.
+    pub fn run_until_delivered(
+        &mut self,
+        flow: FlowId,
+        bytes: u64,
+        deadline: SimTime,
+    ) -> Option<SimTime> {
+        self.start_pending_flows();
+        while self.flows[flow.0 as usize].receiver.stats.bytes_in_order < bytes {
+            let Some(ev) = self.q.pop_until(deadline) else {
+                return None;
+            };
+            self.dispatch(ev.payload);
+        }
+        Some(self.q.now())
+    }
+
+    fn start_pending_flows(&mut self) {
+        for i in 0..self.flows.len() {
+            if !self.flows[i].started {
+                self.flows[i].started = true;
+                self.with_sender(FlowId(i as u32), |s, ctx| s.on_start(ctx));
+            }
+        }
+    }
+
+    /// Runs a sender callback with a context assembled from the world.
+    fn with_sender<F: FnOnce(&mut dyn Endpoint, &mut Ctx)>(&mut self, flow: FlowId, f: F) {
+        let mut sender = std::mem::replace(
+            &mut self.flows[flow.0 as usize].sender,
+            Box::new(NullEndpoint),
+        );
+        {
+            let mut ctx = Ctx {
+                now: self.q.now(),
+                flow,
+                q: &mut self.q,
+                rng: &mut self.rng,
+                next_timer_id: &mut self.next_timer_id,
+            };
+            f(sender.as_mut(), &mut ctx);
+        }
+        self.flows[flow.0 as usize].sender = sender;
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrive { hop, pkt } => self.on_arrive(hop, pkt),
+            Ev::TxDone { hop } => self.on_tx_done(hop),
+            Ev::RateResume { hop } => {
+                self.resume_pending[hop] = false;
+                self.try_start_service(hop);
+            }
+            Ev::AckArrive { flow, ack } => {
+                self.with_sender(flow, |s, ctx| s.on_ack(ack, ctx));
+            }
+            Ev::Timer { flow, kind, id } => {
+                self.with_sender(flow, |s, ctx| s.on_timer(kind, id, ctx));
+            }
+            Ev::CrossToggle { idx, on } => self.on_cross_toggle(idx, on),
+            Ev::CrossEmit { idx } => self.on_cross_emit(idx),
+        }
+    }
+
+    fn on_arrive(&mut self, hop_idx: usize, pkt: Packet) {
+        if hop_idx >= self.hops.len() {
+            self.deliver(pkt);
+            return;
+        }
+        let now = self.q.now();
+        // Fault injection: random early drop.
+        let drop_prob = self.hops[hop_idx].config.drop_prob;
+        if drop_prob > 0.0 && self.rng.chance(drop_prob) {
+            self.hops[hop_idx].stats.dropped_random += 1;
+            return;
+        }
+        let hop = &mut self.hops[hop_idx];
+        if hop.busy {
+            if hop.queue.len() < hop.config.capacity_pkts {
+                hop.queue.push_back(Queued { pkt, arrived: now });
+                let len = hop.queue.len();
+                hop.stats.max_queue_pkts = hop.stats.max_queue_pkts.max(len);
+            } else {
+                hop.stats.dropped_overflow += 1;
+            }
+        } else {
+            hop.queue.push_back(Queued { pkt, arrived: now });
+            self.try_start_service(hop_idx);
+        }
+    }
+
+    /// If the hop is idle and has queued packets, begin serialising the
+    /// head-of-line packet (or arm a resume probe during an outage).
+    fn try_start_service(&mut self, hop_idx: usize) {
+        let now = self.q.now();
+        let hop = &mut self.hops[hop_idx];
+        if hop.busy || hop.queue.is_empty() {
+            return;
+        }
+        let head = *hop.queue.front().expect("checked non-empty");
+        match hop.serialisation_time(&head.pkt, now) {
+            Some(ser) => {
+                hop.busy = true;
+                hop.queue.pop_front();
+                // Queueing-delay accounting happens at service start.
+                let qd = now.since(head.arrived);
+                if qd > hop.stats.max_queue_delay {
+                    hop.stats.max_queue_delay = qd;
+                }
+                self.in_service[hop_idx] = Some(head);
+                self.q.schedule_at(now + ser, Ev::TxDone { hop: hop_idx });
+            }
+            None => {
+                // Outage: wait for the rate to come back.
+                if !self.resume_pending[hop_idx] {
+                    if let Some(t) = hop.config.rate.next_change_after(now) {
+                        self.resume_pending[hop_idx] = true;
+                        self.q.schedule_at(t, Ev::RateResume { hop: hop_idx });
+                    }
+                    // A permanent outage simply strands the queue.
+                }
+            }
+        }
+    }
+
+    fn on_tx_done(&mut self, hop_idx: usize) {
+        let now = self.q.now();
+        let served = self.in_service[hop_idx]
+            .take()
+            .expect("TxDone without a packet in service");
+        // Per-packet latency jitter (HARQ rounds) is applied after
+        // serialisation so it does not consume link capacity. Exits are
+        // clamped to in-order delivery at no faster than the link rate
+        // (RLC reordering delays the stream but cannot burst it out
+        // beyond what the air interface carries — without the spacing
+        // clamp, a jitter stall would release a same-instant burst that
+        // looks like super-link-rate delivery to rate estimators).
+        let jitter = match &self.hops[hop_idx].config.extra_delay_ms {
+            Some(d) => SimDuration::from_millis_f64(d.sample(&mut self.rng).max(0.0)),
+            None => SimDuration::ZERO,
+        };
+        let exit_at = {
+            let ser = self.hops[hop_idx]
+                .serialisation_time(&served.pkt, now)
+                .unwrap_or(SimDuration::ZERO);
+            let hop = &mut self.hops[hop_idx];
+            hop.busy = false;
+            hop.stats.forwarded += 1;
+            let t = (now + hop.config.prop_delay + jitter).max(hop.last_exit + ser);
+            hop.last_exit = t;
+            t
+        };
+        // Cross-traffic is sunk after crossing its hop; data moves on.
+        if !served.pkt.flow.is_cross() {
+            self.q.schedule_at(
+                exit_at,
+                Ev::Arrive {
+                    hop: hop_idx + 1,
+                    pkt: served.pkt,
+                },
+            );
+        }
+        self.try_start_service(hop_idx);
+    }
+
+    /// Receiver-side processing at the end of the path.
+    fn deliver(&mut self, pkt: Packet) {
+        let now = self.q.now();
+        let flow_idx = pkt.flow.0 as usize;
+        let rx = &mut self.flows[flow_idx].receiver;
+        rx.stats.packets_received += 1;
+        rx.stats.bytes_received += pkt.size as u64;
+        if rx.record_seqs {
+            rx.stats.seq_log.push(pkt.seq);
+        }
+        // Throughput windows.
+        let w = (now.as_nanos() / THROUGHPUT_WINDOW.as_nanos()) as usize;
+        if rx.stats.window_bytes.len() <= w {
+            rx.stats.window_bytes.resize(w + 1, 0.0);
+        }
+        rx.stats.window_bytes[w] += pkt.size as f64;
+
+        rx.highest_seq = rx.highest_seq.max(pkt.seq_end());
+        // Reassembly: merge into the out-of-order map, advance expected.
+        if pkt.seq_end() > rx.expected {
+            let start = pkt.seq.max(rx.expected);
+            let entry = rx.ooo.entry(start).or_insert(0);
+            *entry = (*entry).max(pkt.seq_end());
+        }
+        loop {
+            // Pop ranges that begin at or before `expected`.
+            let Some((&s, &e)) = rx.ooo.range(..=rx.expected).next_back() else {
+                break;
+            };
+            if s > rx.expected {
+                break;
+            }
+            rx.ooo.remove(&s);
+            if e > rx.expected {
+                rx.expected = e;
+            }
+        }
+        rx.stats.bytes_in_order = rx.expected;
+
+        if rx.wants_acks {
+            let mut sack = [(0u64, 0u64); 3];
+            let mut sack_len = 0u8;
+            let mut ooo_bytes = 0u64;
+            let mut covered_to = rx.expected;
+            let ranges: Vec<(u64, u64)> = rx.ooo.iter().map(|(&s, &e)| (s, e)).collect();
+            for &(s, e) in &ranges {
+                // Ranges may overlap (the reassembly map is merged
+                // lazily); count each byte once.
+                if e > covered_to {
+                    ooo_bytes += e - s.max(covered_to);
+                    covered_to = e;
+                }
+            }
+            if !ranges.is_empty() {
+                // Real TCP advertises the block containing the packet
+                // that triggered this ACK first, then rotates through
+                // older blocks — over a train of ACKs the sender learns
+                // the whole scoreboard even when holes outnumber the
+                // three advertised blocks.
+                if let Some(&hit) = ranges
+                    .iter()
+                    .find(|&&(s, e)| s <= pkt.seq && pkt.seq < e)
+                {
+                    sack[0] = hit;
+                    sack_len = 1;
+                }
+                let mut cursor = rx.sack_rotate;
+                let mut scanned = 0;
+                while (sack_len as usize) < sack.len() && scanned < ranges.len() {
+                    let cand = ranges[cursor % ranges.len()];
+                    cursor += 1;
+                    scanned += 1;
+                    if !sack[..sack_len as usize].contains(&cand) {
+                        sack[sack_len as usize] = cand;
+                        sack_len += 1;
+                    }
+                }
+                rx.sack_rotate = cursor % ranges.len().max(1);
+            }
+            let ack = AckInfo {
+                cum_ack: rx.expected,
+                highest_seq: rx.highest_seq,
+                echo_sent_at: pkt.sent_at,
+                echo_retx: pkt.retx,
+                delivered_bytes: rx.expected,
+                sack,
+                sack_len,
+                ooo_bytes,
+            };
+            self.q.schedule_at(
+                now + self.reverse_delay,
+                Ev::AckArrive { flow: pkt.flow, ack },
+            );
+        }
+    }
+
+    fn on_cross_toggle(&mut self, idx: usize, on: bool) {
+        let now = self.q.now();
+        self.cross[idx].1 = on;
+        let (dur_ms, next_on) = {
+            let ct = &self.cross[idx].0;
+            if on {
+                (ct.on_ms.sample(&mut self.rng).max(0.1), false)
+            } else {
+                (ct.off_ms.sample(&mut self.rng).max(0.1), true)
+            }
+        };
+        self.q.schedule_at(
+            now + SimDuration::from_millis_f64(dur_ms),
+            Ev::CrossToggle { idx, on: next_on },
+        );
+        if on {
+            self.q.schedule_at(now, Ev::CrossEmit { idx });
+        }
+    }
+
+    fn on_cross_emit(&mut self, idx: usize) {
+        if !self.cross[idx].1 {
+            return; // burst ended
+        }
+        let now = self.q.now();
+        let (hop, gap) = {
+            let ct = &self.cross[idx].0;
+            let gap = SimDuration::from_secs_f64(
+                ct.rate.secs_for_bits(MSS_BYTES as f64 * 8.0),
+            );
+            (ct.hop, gap)
+        };
+        let pkt = Packet {
+            flow: FlowId::CROSS,
+            seq: 0,
+            size: MSS_BYTES,
+            sent_at: now,
+            retx: false,
+        };
+        self.on_arrive(hop, pkt);
+        self.q.schedule_at(now + gap, Ev::CrossEmit { idx });
+    }
+}
+
+/// Placeholder endpoint used while a real sender is checked out during a
+/// callback; never invoked.
+struct NullEndpoint;
+
+impl Endpoint for NullEndpoint {
+    fn on_start(&mut self, _: &mut Ctx) {
+        unreachable!("null endpoint invoked")
+    }
+    fn on_ack(&mut self, _: AckInfo, _: &mut Ctx) {
+        unreachable!("null endpoint invoked")
+    }
+    fn on_timer(&mut self, _: TimerKind, _: u64, _: &mut Ctx) {
+        unreachable!("null endpoint invoked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hop::HopConfig;
+
+    /// A sender that blasts `n` back-to-back packets at start.
+    struct Blaster {
+        n: u64,
+        acks_seen: u64,
+        last_cum: u64,
+    }
+
+    impl Endpoint for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for i in 0..self.n {
+                ctx.send_packet(i * MSS_BYTES as u64, MSS_BYTES, false);
+            }
+        }
+        fn on_ack(&mut self, ack: AckInfo, _: &mut Ctx) {
+            self.acks_seen += 1;
+            assert!(ack.cum_ack >= self.last_cum, "cumulative ACK regressed");
+            self.last_cum = ack.cum_ack;
+        }
+        fn on_timer(&mut self, _: TimerKind, _: u64, _: &mut Ctx) {}
+    }
+
+    fn one_hop_path(rate_mbps: f64, cap: usize) -> PathConfig {
+        PathConfig {
+            hops: vec![HopConfig::wired(
+                "only",
+                rate_mbps,
+                SimDuration::from_millis(1),
+                cap,
+            )],
+            reverse_delay: SimDuration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn packets_flow_end_to_end() {
+        let mut sim = NetSim::new(one_hop_path(100.0, 1000), 1);
+        let flow = sim.add_flow(
+            Box::new(Blaster {
+                n: 100,
+                acks_seen: 0,
+                last_cum: 0,
+            }),
+            true,
+            false,
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let st = sim.flow_stats(flow);
+        assert_eq!(st.packets_received, 100);
+        assert_eq!(st.bytes_in_order, 100 * MSS_BYTES as u64);
+        assert_eq!(sim.hop_stats(0).forwarded, 100);
+        assert_eq!(sim.hop_stats(0).dropped(), 0);
+    }
+
+    #[test]
+    fn droptail_overflows_at_capacity() {
+        // 100 packets blasted into a 10-packet queue on a slow link:
+        // 1 in service + 10 queued survive the initial burst.
+        let mut sim = NetSim::new(one_hop_path(1.0, 10), 2);
+        let flow = sim.add_flow(
+            Box::new(Blaster {
+                n: 100,
+                acks_seen: 0,
+                last_cum: 0,
+            }),
+            true,
+            false,
+        );
+        sim.run_until(SimTime::from_secs(30));
+        let st = sim.flow_stats(flow);
+        assert_eq!(st.packets_received, 11);
+        assert_eq!(sim.hop_stats(0).dropped_overflow, 89);
+        assert_eq!(sim.hop_stats(0).max_queue_pkts, 10);
+    }
+
+    #[test]
+    fn delivery_time_matches_store_and_forward() {
+        // One 1448 B packet at 100 Mbps + 1 ms prop: delivery at
+        // ser (115.84 us) + 1 ms.
+        let mut sim = NetSim::new(one_hop_path(100.0, 10), 3);
+        let flow = sim.add_flow(
+            Box::new(Blaster {
+                n: 1,
+                acks_seen: 0,
+                last_cum: 0,
+            }),
+            true,
+            false,
+        );
+        let t = sim
+            .run_until_delivered(flow, MSS_BYTES as u64, SimTime::from_secs(1))
+            .expect("delivered");
+        let expect = 1448.0 * 8.0 / 100e6 + 1e-3;
+        assert!((t.as_secs_f64() - expect).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        /// Sends segment 1 then segment 0.
+        struct Reorder;
+        impl Endpoint for Reorder {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.send_packet(MSS_BYTES as u64, MSS_BYTES, false);
+                ctx.send_packet(0, MSS_BYTES, false);
+            }
+            fn on_ack(&mut self, _: AckInfo, _: &mut Ctx) {}
+            fn on_timer(&mut self, _: TimerKind, _: u64, _: &mut Ctx) {}
+        }
+        let mut sim = NetSim::new(one_hop_path(100.0, 10), 4);
+        let flow = sim.add_flow(Box::new(Reorder), true, false);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.flow_stats(flow).bytes_in_order, 2 * MSS_BYTES as u64);
+    }
+
+    #[test]
+    fn outage_stalls_then_resumes() {
+        use crate::ratemodel::RateModel;
+        use fiveg_simcore::BitRate;
+        let mut path = one_hop_path(100.0, 1000);
+        path.hops[0].rate = RateModel::piecewise(vec![
+            (SimTime::ZERO, BitRate::from_mbps(100.0)),
+            (SimTime::from_millis(0), BitRate::ZERO),
+            (SimTime::from_millis(100), BitRate::from_mbps(100.0)),
+        ]);
+        let mut sim = NetSim::new(path, 5);
+        let flow = sim.add_flow(
+            Box::new(Blaster {
+                n: 5,
+                acks_seen: 0,
+                last_cum: 0,
+            }),
+            true,
+            false,
+        );
+        let t = sim
+            .run_until_delivered(flow, 5 * MSS_BYTES as u64, SimTime::from_secs(1))
+            .expect("delivered after outage");
+        assert!(t >= SimTime::from_millis(100), "delivered during outage: {t}");
+        assert!(t < SimTime::from_millis(110));
+    }
+
+    #[test]
+    fn cross_traffic_congests_shared_hop() {
+        use crate::crosstraffic::CrossTraffic;
+        use fiveg_simcore::dist::Dist;
+        // A 10 Mbps hop with 8 Mbps cross traffic always on: our CBR-ish
+        // blast must see queueing and drops.
+        let mut sim = NetSim::new(one_hop_path(10.0, 50), 6);
+        sim.add_cross_traffic(CrossTraffic {
+            hop: 0,
+            rate: fiveg_simcore::BitRate::from_mbps(8.0),
+            on_ms: Dist::Constant(10_000.0),
+            off_ms: Dist::Constant(0.1),
+        });
+        let flow = sim.add_flow(
+            Box::new(Blaster {
+                n: 2_000,
+                acks_seen: 0,
+                last_cum: 0,
+            }),
+            true,
+            false,
+        );
+        sim.run_until(SimTime::from_secs(5));
+        assert!(sim.hop_stats(0).dropped_overflow > 0);
+        assert!(sim.flow_stats(flow).packets_received < 2_000);
+    }
+
+    #[test]
+    fn random_drop_fault_injection() {
+        let mut path = one_hop_path(100.0, 10_000);
+        path.hops[0].drop_prob = 0.5;
+        let mut sim = NetSim::new(path, 7);
+        let flow = sim.add_flow(
+            Box::new(Blaster {
+                n: 1_000,
+                acks_seen: 0,
+                last_cum: 0,
+            }),
+            true,
+            false,
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let received = sim.flow_stats(flow).packets_received;
+        assert!((300..700).contains(&(received as i64)), "{received}");
+        assert!(sim.hop_stats(0).dropped_random > 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerUser {
+            fired: Vec<u64>,
+        }
+        impl Endpoint for TimerUser {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(TimerKind::Aux(0), SimDuration::from_millis(20));
+                ctx.set_timer(TimerKind::Aux(1), SimDuration::from_millis(10));
+            }
+            fn on_ack(&mut self, _: AckInfo, _: &mut Ctx) {}
+            fn on_timer(&mut self, kind: TimerKind, _: u64, _: &mut Ctx) {
+                if let TimerKind::Aux(n) = kind {
+                    self.fired.push(n as u64);
+                }
+            }
+        }
+        let mut sim = NetSim::new(one_hop_path(100.0, 10), 8);
+        sim.add_flow(Box::new(TimerUser { fired: vec![] }), true, false);
+        sim.run_until(SimTime::from_secs(1));
+        // Inspect by re-borrowing the sender box — easiest is indirect:
+        // the ordering property is already exercised by the event queue
+        // tests; here we just ensure timers do not panic.
+    }
+
+    #[test]
+    fn seq_log_records_arrival_order() {
+        let mut sim = NetSim::new(one_hop_path(100.0, 100), 9);
+        let flow = sim.add_flow(
+            Box::new(Blaster {
+                n: 5,
+                acks_seen: 0,
+                last_cum: 0,
+            }),
+            false,
+            true,
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let log = &sim.flow_stats(flow).seq_log;
+        assert_eq!(log.len(), 5);
+        assert!(log.windows(2).all(|w| w[0] < w[1]));
+    }
+}

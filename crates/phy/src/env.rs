@@ -1,0 +1,441 @@
+//! The radio environment — the XCAL-Mobile analogue.
+//!
+//! [`RadioEnv`] combines the campus map, the deployed cells, the
+//! propagation model and per-cell shadowing fields, and answers the
+//! question the paper's probe answered at every sampled location: what
+//! RSRP/RSRQ/SINR/CQI/MCS/bitrate does each cell deliver here, and which
+//! cell would serve me?
+
+use crate::carrier::Tech;
+use crate::cell::CellPhy;
+use crate::mcs;
+use crate::pathloss::{PropagationParams, ShadowingField};
+use crate::penetration::wall_loss;
+use fiveg_geo::point::Segment;
+use fiveg_geo::{Campus, CampusMap, Point};
+use fiveg_simcore::{BitRate, Db, Dbm};
+use serde::{Deserialize, Serialize};
+
+/// Service threshold: below this RSRP the network cannot sustain a
+/// connection (paper Sec. 3.1, citing Rel-15 TS 36.211: "if the RSRP is
+/// less than −105 dBm, the communication service cannot be triggered").
+pub const SERVICE_THRESHOLD: Dbm = Dbm::new(-105.0);
+
+/// Everything measured about one cell at one location.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellMeasurement {
+    /// Physical cell id.
+    pub pci: u16,
+    /// Technology.
+    pub tech: Tech,
+    /// Reference signal received power.
+    pub rsrp: Dbm,
+    /// Reference signal received quality, dB.
+    pub rsrq: Db,
+    /// Signal-to-interference-plus-noise ratio, dB.
+    pub sinr: Db,
+    /// 2-D ground distance to the mast, metres.
+    pub distance_m: f64,
+}
+
+/// A full KPI sample for the serving cell at one location — one row of
+/// the measurement dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KpiSample {
+    /// Sampled position.
+    pub pos: Point,
+    /// Whether the position is indoors.
+    pub indoor: bool,
+    /// Serving-cell measurement.
+    pub serving: CellMeasurement,
+    /// Channel quality indicator derived from SINR.
+    pub cqi: u8,
+    /// Modulation-and-coding-scheme index.
+    pub mcs: u8,
+    /// Downlink PHY bitrate available to this UE at the allocated PRB
+    /// share.
+    pub bitrate: BitRate,
+    /// Whether the RSRP is above the service threshold.
+    pub in_service: bool,
+}
+
+/// The radio environment.
+#[derive(Debug, Clone)]
+pub struct RadioEnv {
+    /// Campus geometry.
+    pub map: CampusMap,
+    /// Deployed cells (all technologies).
+    pub cells: Vec<CellPhy>,
+    /// Propagation parameters.
+    pub params: PropagationParams,
+    shadowing: Vec<ShadowingField>,
+}
+
+impl RadioEnv {
+    /// Builds an environment from explicit cells.
+    pub fn new(map: CampusMap, cells: Vec<CellPhy>, params: PropagationParams, seed: u64) -> Self {
+        let shadowing = cells
+            .iter()
+            .map(|c| ShadowingField::new(seed ^ (c.pci as u64).wrapping_mul(0x9e37_79b9)))
+            .collect();
+        RadioEnv {
+            map,
+            cells,
+            params,
+            shadowing,
+        }
+    }
+
+    /// Builds the paper's deployment from a generated campus: LTE cells
+    /// on every eNB sector (PCIs from 200), NR cells on every gNB sector
+    /// (PCIs from 60 — the paper's Fig. 2a labels NR cells 60–79).
+    ///
+    /// `lte_load`/`nr_load` are the interference activity factors
+    /// (daytime busy-hour defaults: 4G heavily used, 5G nearly empty in
+    /// this early-deployment period — Sec. 4.1).
+    pub fn from_campus(campus: &Campus, seed: u64, lte_load: f64, nr_load: f64) -> Self {
+        let mut cells = Vec::new();
+        let mut pci = 200u16;
+        for site in &campus.plan.enb_sites {
+            for &az in &site.sector_azimuths {
+                cells.push(CellPhy {
+                    pci,
+                    carrier: crate::carrier::Carrier::lte_b3(),
+                    pos: site.pos,
+                    height_m: 25.0,
+                    antenna: crate::antenna::SectorAntenna::standard(az),
+                    vertical: crate::antenna::VerticalPattern::macro_default(),
+                    load: lte_load,
+                });
+                pci += 1;
+            }
+        }
+        let mut npci = 60u16;
+        for site in &campus.plan.gnb_sites {
+            for &az in &site.sector_azimuths {
+                cells.push(CellPhy {
+                    pci: npci,
+                    carrier: crate::carrier::Carrier::nr_n78(),
+                    pos: site.pos,
+                    height_m: 25.0,
+                    antenna: crate::antenna::SectorAntenna::nr_sweeping(az),
+                    vertical: crate::antenna::VerticalPattern::macro_default(),
+                    load: nr_load,
+                });
+                npci += 1;
+            }
+        }
+        RadioEnv::new(
+            campus.map.clone(),
+            cells,
+            PropagationParams::default_urban(),
+            seed,
+        )
+    }
+
+    /// Number of cells of a technology.
+    pub fn num_cells(&self, tech: Tech) -> usize {
+        self.cells.iter().filter(|c| c.tech() == tech).count()
+    }
+
+    /// Index of the cell with the given PCI.
+    pub fn cell_index(&self, pci: u16) -> Option<usize> {
+        self.cells.iter().position(|c| c.pci == pci)
+    }
+
+    /// Total propagation loss (path loss + antenna + walls + shadowing)
+    /// from cell `idx` to `ue`.
+    fn total_loss_db(&self, idx: usize, ue: Point) -> Db {
+        let cell = &self.cells[idx];
+        let f = cell.carrier.freq;
+        let d3 = cell.distance_3d(ue);
+        let seg = Segment::new(cell.pos, ue);
+
+        // Rooftop mast: the building under the mast does not obstruct its
+        // own transmissions.
+        let mut blocked_walls_ue_building = 0usize;
+        let mut ue_material = None;
+        let mut blocked = false;
+        for b in &self.map.buildings {
+            if b.contains(cell.pos) {
+                continue;
+            }
+            let crossings = b.wall_crossings(seg);
+            let contains_ue = b.contains(ue);
+            if crossings > 0 || contains_ue {
+                blocked = true;
+            }
+            if contains_ue {
+                // At least one exterior wall separates an indoor UE.
+                blocked_walls_ue_building = crossings.max(1);
+                ue_material = Some(b.material);
+            }
+        }
+
+        let (median, sigma) = if !blocked {
+            (self.params.loss_los(d3, f), self.params.shadow_sigma_los)
+        } else {
+            (self.params.loss_nlos(d3, f), self.params.shadow_sigma_nlos)
+        };
+        let mut loss = median.value()
+            + cell.antenna_attenuation_db(ue)
+            + cell.vertical.attenuation_db(cell.pos.distance(ue), cell.height_m);
+        if let Some(mat) = ue_material {
+            // Indoor UE: add the exterior wall(s) of its own building.
+            // Outdoor blockage by intermediate buildings is already
+            // captured by the NLoS branch (diffraction dominates going
+            // *around* a building; going *into* one has no such path).
+            loss += wall_loss(mat, f).value() * blocked_walls_ue_building as f64;
+        }
+        loss += self.shadowing[idx].value_db(ue.x, ue.y, sigma).value();
+        Db::new(loss)
+    }
+
+    /// RSRP of cell `idx` at `ue`.
+    pub fn rsrp(&self, idx: usize, ue: Point) -> Dbm {
+        let cell = &self.cells[idx];
+        cell.carrier.tx_power_per_re() + Db::new(cell.carrier.ref_signal_gain_db)
+            - self.total_loss_db(idx, ue)
+    }
+
+    /// Measures every cell of `tech` at `ue`, with mutual co-channel
+    /// interference, sorted by descending RSRP.
+    pub fn measure_all(&self, ue: Point, tech: Tech) -> Vec<CellMeasurement> {
+        let idxs: Vec<usize> = (0..self.cells.len())
+            .filter(|&i| self.cells[i].tech() == tech)
+            .collect();
+        if idxs.is_empty() {
+            return Vec::new();
+        }
+        let rsrp_dbm: Vec<Dbm> = idxs.iter().map(|&i| self.rsrp(i, ue)).collect();
+        let rsrp_mw: Vec<f64> = rsrp_dbm
+            .iter()
+            .map(|d| d.to_milliwatts().milliwatts())
+            .collect();
+        let noise_mw = self.cells[idxs[0]]
+            .carrier
+            .noise_per_re()
+            .to_milliwatts()
+            .milliwatts();
+
+        // RSSI is ONE wideband quantity at the UE: the sum of every
+        // co-channel cell's received power weighted by its airtime
+        // activity, floored at the always-on reference-signal overhead
+        // (≈20 % of REs), plus noise. Sharing the denominator is what
+        // makes RSRQ discriminate between cells — RSRQ gaps equal RSRP
+        // gaps, as the A3 hand-off rule relies on.
+        const RS_ACTIVITY_FLOOR: f64 = 0.2;
+        let rssi_per_re: f64 = idxs
+            .iter()
+            .enumerate()
+            .map(|(k2, &i2)| rsrp_mw[k2] * self.cells[i2].load.max(RS_ACTIVITY_FLOOR))
+            .sum::<f64>()
+            + noise_mw;
+        let mut out: Vec<CellMeasurement> = idxs
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| {
+                // Data-plane SINR: interference from *loaded* REs of the
+                // other cells only (data REs dodge the RS collisions).
+                let interference: f64 = idxs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k2, _)| k2 != k)
+                    .map(|(k2, &i2)| rsrp_mw[k2] * self.cells[i2].load)
+                    .sum();
+                let sinr = Db::from_linear((rsrp_mw[k] / (interference + noise_mw)).max(1e-12));
+                let rsrq = Db::from_linear((rsrp_mw[k] / (12.0 * rssi_per_re)).max(1e-12));
+                CellMeasurement {
+                    pci: self.cells[i].pci,
+                    tech,
+                    rsrp: rsrp_dbm[k],
+                    rsrq,
+                    sinr,
+                    distance_m: self.cells[i].pos.distance(ue),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| b.rsrp.partial_cmp(&a.rsrp).expect("RSRP is finite"));
+        out
+    }
+
+    /// The strongest cell of `tech` at `ue`, if any exist.
+    pub fn serving(&self, ue: Point, tech: Tech) -> Option<CellMeasurement> {
+        self.measure_all(ue, tech).into_iter().next()
+    }
+
+    /// Measurement of one specific cell (by PCI) including interference
+    /// from its co-channel neighbours — used when the UE is locked to a
+    /// cell (the paper's Sec. 3.2 frequency-lock experiment).
+    pub fn measure_pci(&self, ue: Point, pci: u16) -> Option<CellMeasurement> {
+        let tech = self.cells[self.cell_index(pci)?].tech();
+        self.measure_all(ue, tech).into_iter().find(|m| m.pci == pci)
+    }
+
+    /// Full KPI sample of the serving cell at `ue`.
+    ///
+    /// `prb_fraction` is the share of PRBs the scheduler grants this UE
+    /// (the paper observed ≈1.0 for the empty 5G network and 0.4–1.0 for
+    /// 4G depending on time of day).
+    pub fn kpi_sample(&self, ue: Point, tech: Tech, prb_fraction: f64) -> Option<KpiSample> {
+        let serving = self.serving(ue, tech)?;
+        Some(self.kpi_for(serving, ue, prb_fraction))
+    }
+
+    /// Full KPI sample for a given (already measured) serving cell.
+    pub fn kpi_for(&self, serving: CellMeasurement, ue: Point, prb_fraction: f64) -> KpiSample {
+        let idx = self
+            .cell_index(serving.pci)
+            .expect("measurement refers to a deployed cell");
+        let carrier = self.cells[idx].carrier;
+        let cqi = mcs::cqi_from_sinr(serving.sinr.value());
+        let mcs_idx = mcs::mcs_from_cqi(cqi);
+        let in_service = serving.rsrp >= SERVICE_THRESHOLD;
+        let bitrate = if in_service {
+            carrier.dl_rate_at_peak_mcs(prb_fraction) * mcs::rate_fraction(serving.sinr.value())
+        } else {
+            BitRate::ZERO
+        };
+        KpiSample {
+            pos: ue,
+            indoor: self.map.is_indoor(ue),
+            serving,
+            cqi,
+            mcs: mcs_idx,
+            bitrate,
+            in_service,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_geo::CampusConfig;
+    use fiveg_simcore::SimRng;
+
+    fn env() -> RadioEnv {
+        let campus = Campus::generate(&CampusConfig::default(), &mut SimRng::new(2020));
+        RadioEnv::from_campus(&campus, 77, 0.5, 0.05)
+    }
+
+    #[test]
+    fn deployment_counts() {
+        let e = env();
+        assert_eq!(e.num_cells(Tech::Lte), 34);
+        assert_eq!(e.num_cells(Tech::Nr), 13);
+        assert!(e.cell_index(60).is_some(), "first NR PCI");
+        assert!(e.cell_index(200).is_some(), "first LTE PCI");
+    }
+
+    #[test]
+    fn rsrp_decays_with_distance() {
+        let e = env();
+        let idx = e.cell_index(60).unwrap();
+        let cell_pos = e.cells[idx].pos;
+        let az = e.cells[idx].antenna.azimuth_deg.to_radians();
+        let dir = Point::new(az.cos(), az.sin());
+        // Sample along boresight; RSRP must broadly decay (shadowing
+        // wiggles, so compare 30 m vs 300 m).
+        let near = e.rsrp(idx, cell_pos + dir * 30.0);
+        let far = e.rsrp(idx, cell_pos + dir * 300.0);
+        assert!(
+            near.value() > far.value() + 10.0,
+            "near {near} far {far}"
+        );
+    }
+
+    #[test]
+    fn serving_cell_is_strongest() {
+        let e = env();
+        let ue = Point::new(250.0, 460.0);
+        let all = e.measure_all(ue, Tech::Nr);
+        assert_eq!(all.len(), 13);
+        let serving = e.serving(ue, Tech::Nr).unwrap();
+        assert_eq!(serving.pci, all[0].pci);
+        for w in all.windows(2) {
+            assert!(w[0].rsrp >= w[1].rsrp);
+        }
+    }
+
+    #[test]
+    fn sinr_no_higher_than_snr_and_rsrq_in_band() {
+        let e = env();
+        for &(x, y) in &[(100.0, 100.0), (250.0, 460.0), (400.0, 800.0)] {
+            let m = e.serving(Point::new(x, y), Tech::Nr).unwrap();
+            // Serving RSRQ for a lightly loaded system tops out near
+            // -10·log10(12·0.2) ≈ -3.8 dB and degrades with load and
+            // interference.
+            assert!(
+                m.rsrq.value() < -3.5 && m.rsrq.value() > -30.0,
+                "rsrq {}",
+                m.rsrq
+            );
+        }
+    }
+
+    #[test]
+    fn kpi_sample_consistency() {
+        let e = env();
+        let s = e
+            .kpi_sample(Point::new(250.0, 460.0), Tech::Nr, 1.0)
+            .unwrap();
+        assert_eq!(s.cqi, mcs::cqi_from_sinr(s.serving.sinr.value()));
+        if s.in_service {
+            assert!(s.bitrate.bps() > 0.0);
+            assert!(s.bitrate.mbps() <= 1201.0);
+        } else {
+            assert_eq!(s.bitrate.bps(), 0.0);
+        }
+    }
+
+    #[test]
+    fn indoor_ue_sees_extra_loss() {
+        let e = env();
+        // Find a building and compare just-outside vs inside RSRP of the
+        // same cell with shadowing neutralised by comparing many pairs.
+        let mut indoor_worse = 0;
+        let mut total = 0;
+        for b in e.map.buildings.iter().take(12) {
+            let c = b.footprint.center();
+            let outside = Point::new(b.footprint.min.x - 3.0, c.y);
+            if e.map.is_indoor(outside) {
+                continue;
+            }
+            let idx = e.cell_index(60).unwrap();
+            let r_in = e.rsrp(idx, c);
+            let r_out = e.rsrp(idx, outside);
+            total += 1;
+            if r_in.value() < r_out.value() {
+                indoor_worse += 1;
+            }
+        }
+        assert!(total > 5);
+        assert!(
+            indoor_worse * 4 >= total * 3,
+            "{indoor_worse}/{total} indoor samples worse"
+        );
+    }
+
+    #[test]
+    fn lte_and_nr_do_not_interfere() {
+        // NR SINR with heavily loaded LTE should match NR SINR with idle
+        // LTE (different bands): verify by comparing two environments.
+        let campus = Campus::generate(&CampusConfig::default(), &mut SimRng::new(2020));
+        let busy = RadioEnv::from_campus(&campus, 77, 0.9, 0.05);
+        let idle = RadioEnv::from_campus(&campus, 77, 0.0, 0.05);
+        let ue = Point::new(250.0, 460.0);
+        let a = busy.serving(ue, Tech::Nr).unwrap();
+        let b = idle.serving(ue, Tech::Nr).unwrap();
+        assert_eq!(a.sinr, b.sinr);
+    }
+
+    #[test]
+    fn measure_pci_finds_locked_cell() {
+        let e = env();
+        let ue = Point::new(250.0, 460.0);
+        let m = e.measure_pci(ue, 60).unwrap();
+        assert_eq!(m.pci, 60);
+        assert!(e.measure_pci(ue, 9999).is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Link adaptation: SINR → CQI → MCS → spectral efficiency, plus the
+//! block-error-rate model that drives HARQ.
+//!
+//! The tables follow the 3GPP 256-QAM CQI table (TS 38.214 Table
+//! 5.2.2.1-3): 15 CQI indices up to 256QAM at code rate 0.925 — the
+//! paper observes exactly that operating point ("MCS index is 27, which
+//! corresponds to a maximum code rate of 0.925 ... in 256 QAM",
+//! Sec. 4.1).
+
+/// Spectral efficiency (bit/s/Hz) per CQI index 1..=15 (index 0 = out of
+/// range). 3GPP 256-QAM table.
+pub const CQI_SPECTRAL_EFFICIENCY: [f64; 16] = [
+    0.0, 0.1523, 0.3770, 0.8770, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223, 3.9023, 4.5234, 5.1152,
+    5.5547, 6.2266, 6.9141, 7.4063,
+];
+
+/// Approximate SINR (dB) required to operate at each CQI with ≈10 %
+/// initial BLER. Spacing ≈2 dB, anchored at −6.7 dB for CQI 1 (standard
+/// link-level results for the 256-QAM table).
+pub const CQI_SINR_THRESHOLD_DB: [f64; 16] = [
+    f64::NEG_INFINITY,
+    -6.7,
+    -4.7,
+    -2.3,
+    0.2,
+    2.4,
+    4.3,
+    5.9,
+    8.1,
+    10.3,
+    11.7,
+    14.1,
+    16.3,
+    18.7,
+    21.0,
+    22.7,
+];
+
+/// Highest CQI whose SINR threshold is met; 0 when even CQI 1 fails.
+pub fn cqi_from_sinr(sinr_db: f64) -> u8 {
+    let mut cqi = 0u8;
+    for (i, &thr) in CQI_SINR_THRESHOLD_DB.iter().enumerate().skip(1) {
+        if sinr_db >= thr {
+            cqi = i as u8;
+        }
+    }
+    cqi
+}
+
+/// Maps CQI to the MCS index the scheduler would pick (0–27, two MCS
+/// steps per CQI as in the 256-QAM MCS table; the paper's peak is 27).
+pub fn mcs_from_cqi(cqi: u8) -> u8 {
+    if cqi == 0 {
+        0
+    } else {
+        (cqi as u16 * 2 - 2).min(27) as u8
+    }
+}
+
+/// Spectral efficiency achieved at the given SINR (bit/s/Hz) after link
+/// adaptation — the CQI table lookup, zero below the lowest threshold.
+pub fn spectral_efficiency(sinr_db: f64) -> f64 {
+    CQI_SPECTRAL_EFFICIENCY[cqi_from_sinr(sinr_db) as usize]
+}
+
+/// Peak spectral efficiency of the table (CQI 15: 256QAM, rate 0.925).
+pub const PEAK_SPECTRAL_EFFICIENCY: f64 = 7.4063;
+
+/// Fraction of the carrier's peak bitrate achieved at this SINR.
+pub fn rate_fraction(sinr_db: f64) -> f64 {
+    spectral_efficiency(sinr_db) / PEAK_SPECTRAL_EFFICIENCY
+}
+
+/// SINR required by an MCS index for ≈10 % initial BLER, interpolated
+/// from the CQI thresholds (two MCS per CQI step).
+pub fn mcs_sinr_requirement_db(mcs: u8) -> f64 {
+    let mcs = mcs.min(27) as f64;
+    let cqi_pos = mcs / 2.0 + 1.0; // fractional CQI position
+    let lo = cqi_pos.floor() as usize;
+    let hi = (lo + 1).min(15);
+    let frac = cqi_pos - lo as f64;
+    let lo_thr = CQI_SINR_THRESHOLD_DB[lo.clamp(1, 15)];
+    let hi_thr = CQI_SINR_THRESHOLD_DB[hi.clamp(1, 15)];
+    lo_thr + (hi_thr - lo_thr) * frac
+}
+
+/// Initial-transmission block error rate at `sinr_db` for the given MCS:
+/// a logistic waterfall centred 1 dB below the MCS requirement with a
+/// ≈0.9 dB slope, anchored so operating exactly at the requirement gives
+/// ≈10 % BLER (the standard outer-loop link-adaptation target).
+pub fn bler(sinr_db: f64, mcs: u8) -> f64 {
+    let req = mcs_sinr_requirement_db(mcs);
+    // At sinr == req we want bler == 0.1: solve offset = ln(9) * slope.
+    let slope = 0.9;
+    let offset = slope * (9.0f64).ln();
+    1.0 / (1.0 + ((sinr_db - (req - offset)) / slope).exp())
+}
+
+/// The MCS the scheduler selects at this SINR (via CQI), i.e. the
+/// operating point whose initial BLER is ≈10 %.
+pub fn select_mcs(sinr_db: f64) -> u8 {
+    mcs_from_cqi(cqi_from_sinr(sinr_db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cqi_monotonic_in_sinr() {
+        let mut prev = 0;
+        for s in -10..35 {
+            let c = cqi_from_sinr(s as f64);
+            assert!(c >= prev, "CQI dropped at {s} dB");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn cqi_extremes() {
+        assert_eq!(cqi_from_sinr(-20.0), 0);
+        assert_eq!(cqi_from_sinr(-6.7), 1);
+        assert_eq!(cqi_from_sinr(40.0), 15);
+    }
+
+    #[test]
+    fn paper_peak_operating_point() {
+        // High SINR → CQI 15 → MCS 27 (wait: 15*2-2=28, capped at 27),
+        // spectral efficiency 7.4063 = 8 bits × 0.925 code rate.
+        assert_eq!(mcs_from_cqi(15), 27);
+        assert_eq!(select_mcs(30.0), 27);
+        assert!((PEAK_SPECTRAL_EFFICIENCY - 8.0 * 0.9258).abs() < 0.01);
+        assert_eq!(spectral_efficiency(30.0), 7.4063);
+    }
+
+    #[test]
+    fn rate_fraction_bounds() {
+        assert_eq!(rate_fraction(-30.0), 0.0);
+        assert!((rate_fraction(30.0) - 1.0).abs() < 1e-12);
+        let mid = rate_fraction(10.0);
+        assert!(mid > 0.3 && mid < 0.7, "{mid}");
+    }
+
+    #[test]
+    fn bler_at_requirement_is_ten_percent() {
+        for mcs in [0u8, 9, 17, 27] {
+            let req = mcs_sinr_requirement_db(mcs);
+            let b = bler(req, mcs);
+            assert!((b - 0.1).abs() < 0.01, "mcs {mcs}: bler {b}");
+        }
+    }
+
+    #[test]
+    fn bler_waterfall_shape() {
+        let mcs = 15;
+        let req = mcs_sinr_requirement_db(mcs);
+        assert!(bler(req - 5.0, mcs) > 0.95);
+        assert!(bler(req + 4.0, mcs) < 0.01);
+        // Monotonically decreasing in SINR.
+        let mut prev = 1.0;
+        for i in 0..100 {
+            let b = bler(req - 10.0 + i as f64 * 0.2, mcs);
+            assert!(b <= prev + 1e-12);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn higher_mcs_needs_more_sinr() {
+        let mut prev = f64::NEG_INFINITY;
+        for mcs in 0..=27 {
+            let r = mcs_sinr_requirement_db(mcs);
+            assert!(r >= prev, "req dropped at MCS {mcs}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn selected_mcs_operates_near_target_bler() {
+        // Wherever the scheduler lands, the initial BLER should be below
+        // ~30 % and usually near 10 % (the CQI quantisation makes it
+        // better than target most of the time).
+        for s in [-5.0, 0.0, 5.0, 12.0, 20.0, 25.0] {
+            let mcs = select_mcs(s);
+            let b = bler(s, mcs);
+            assert!(b <= 0.30, "sinr {s}: mcs {mcs} bler {b}");
+        }
+    }
+}

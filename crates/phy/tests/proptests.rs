@@ -1,0 +1,78 @@
+//! Property-based tests for the radio physical layer.
+
+use fiveg_phy::antenna::{SectorAntenna, VerticalPattern};
+use fiveg_phy::mcs;
+use fiveg_phy::pathloss::{PropagationParams, ShadowingField};
+use fiveg_simcore::Frequency;
+use proptest::prelude::*;
+
+proptest! {
+    /// Path loss grows with distance on both branches, and NLoS never
+    /// undercuts LoS.
+    #[test]
+    fn pathloss_monotone(d1 in 1.0f64..2000.0, d2 in 1.0f64..2000.0, ghz in 0.7f64..6.0) {
+        let p = PropagationParams::default_urban();
+        let f = Frequency::from_ghz(ghz);
+        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(p.loss_los(hi, f).value() >= p.loss_los(lo, f).value());
+        prop_assert!(p.loss_nlos(hi, f).value() >= p.loss_nlos(lo, f).value());
+        prop_assert!(p.loss_nlos(d1, f).value() >= p.loss_los(d1, f).value() - 1e-9);
+    }
+
+    /// Higher frequency always loses more.
+    #[test]
+    fn pathloss_frequency_monotone(d in 10.0f64..1000.0, f1 in 0.7f64..6.0, f2 in 0.7f64..6.0) {
+        let p = PropagationParams::default_urban();
+        let (lo, hi) = if f1 < f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(
+            p.loss_los(d, Frequency::from_ghz(hi)).value()
+                >= p.loss_los(d, Frequency::from_ghz(lo)).value()
+        );
+    }
+
+    /// Antenna attenuation is bounded and symmetric around boresight.
+    #[test]
+    fn antenna_bounded_and_symmetric(az in 0.0f64..360.0, off in 0.0f64..180.0) {
+        let a = SectorAntenna::standard(az);
+        let left = a.attenuation_db((az - off).rem_euclid(360.0));
+        let right = a.attenuation_db((az + off).rem_euclid(360.0));
+        prop_assert!((left - right).abs() < 1e-9);
+        prop_assert!(left >= 0.0 && left <= a.max_attenuation_db);
+    }
+
+    /// Vertical pattern is bounded.
+    #[test]
+    fn vertical_bounded(d in 1.0f64..2000.0, mast in 5.0f64..60.0) {
+        let v = VerticalPattern::macro_default();
+        let a = v.attenuation_db(d, mast);
+        prop_assert!(a >= 0.0 && a <= v.max_attenuation_db);
+    }
+
+    /// CQI / spectral efficiency / rate fraction are monotone in SINR
+    /// and properly bounded.
+    #[test]
+    fn link_adaptation_monotone(s1 in -20.0f64..40.0, s2 in -20.0f64..40.0) {
+        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(mcs::cqi_from_sinr(hi) >= mcs::cqi_from_sinr(lo));
+        prop_assert!(mcs::spectral_efficiency(hi) >= mcs::spectral_efficiency(lo));
+        let rf = mcs::rate_fraction(s1);
+        prop_assert!((0.0..=1.0).contains(&rf));
+    }
+
+    /// BLER is a valid probability, decreasing in SINR for every MCS.
+    #[test]
+    fn bler_valid(mcs_idx in 0u8..=27, s in -30.0f64..50.0) {
+        let b = mcs::bler(s, mcs_idx);
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!(mcs::bler(s + 1.0, mcs_idx) <= b + 1e-12);
+    }
+
+    /// Shadowing is deterministic per position and bounded in practice.
+    #[test]
+    fn shadowing_deterministic(seed in any::<u64>(), x in -1e4f64..1e4, y in -1e4f64..1e4) {
+        let f = ShadowingField::new(seed);
+        prop_assert_eq!(f.standard_value(x, y), f.standard_value(x, y));
+        // Standard normal values essentially never exceed 6 sigma.
+        prop_assert!(f.standard_value(x, y).abs() < 8.0);
+    }
+}

@@ -1,0 +1,448 @@
+//! The hand-off campaign simulator.
+//!
+//! Drives an NSA dual-connectivity UE along a mobility trace over a
+//! [`RadioEnv`], evaluating the operator's measurement-event
+//! configuration at every sample, executing hand-offs and logging each
+//! one — the synthetic equivalent of the paper's 80-minute, 407-event
+//! walking/bicycling campaign (Sec. 3.4).
+//!
+//! NSA specifics modelled:
+//!
+//! * the UE always has an LTE anchor; horizontal LTE hand-offs follow A3
+//!   on RSRQ,
+//! * the NR leg is added via B1 when NR coverage appears (4G→5G vertical
+//!   hand-off) and released when the serving NR cell drops below the
+//!   service threshold (5G→4G),
+//! * horizontal NR hand-offs follow A3 and pay the full NSA release +
+//!   anchor-HO + re-addition latency.
+
+use crate::events::{A3Config, A3Tracker};
+use crate::signaling::HandoffProcedure;
+use fiveg_geo::mobility::MobilityTrace;
+use fiveg_phy::{RadioEnv, Tech};
+use fiveg_simcore::{Db, Dbm, SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Classification of a hand-off event, in the paper's Fig. 5/6 naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HandoffKind {
+    /// Horizontal 4G→4G (anchor hand-off with no NR leg involved).
+    LteToLte,
+    /// Horizontal 5G→5G (NSA: release + anchor HO + re-addition).
+    NrToNr,
+    /// Vertical 4G→5G (SgNB addition).
+    LteToNr,
+    /// Vertical 5G→4G (SgNB release / fallback).
+    NrToLte,
+}
+
+impl HandoffKind {
+    /// Label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            HandoffKind::LteToLte => "4G-4G",
+            HandoffKind::NrToNr => "5G-5G",
+            HandoffKind::LteToNr => "4G-5G",
+            HandoffKind::NrToLte => "5G-4G",
+        }
+    }
+
+    /// Whether this is a horizontal (same-RAT) hand-off.
+    pub fn is_horizontal(self) -> bool {
+        matches!(self, HandoffKind::LteToLte | HandoffKind::NrToNr)
+    }
+}
+
+/// One executed hand-off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HandoffRecord {
+    /// Trigger time.
+    pub t: SimTime,
+    /// Hand-off class.
+    pub kind: HandoffKind,
+    /// Old serving PCI (the LTE anchor for vertical additions).
+    pub from_pci: u16,
+    /// New serving PCI.
+    pub to_pci: u16,
+    /// Control-plane latency of the procedure.
+    pub latency: SimDuration,
+    /// Serving-cell RSRQ just before the hand-off.
+    pub rsrq_before: Db,
+    /// New serving-cell RSRQ shortly after completion (`NaN`-free; filled
+    /// with the first sample ≥ `after_delay` later).
+    pub rsrq_after: Db,
+}
+
+impl HandoffRecord {
+    /// RSRQ gain of the hand-off (after − before), dB.
+    pub fn rsrq_gain(&self) -> Db {
+        Db::new(self.rsrq_after.value() - self.rsrq_before.value())
+    }
+}
+
+/// The NSA UE's connection state.
+#[derive(Debug, Clone)]
+pub struct NsaUe {
+    /// Serving LTE anchor PCI.
+    pub lte_serving: Option<u16>,
+    /// Serving NR secondary-cell PCI (None = no 5G leg).
+    pub nr_serving: Option<u16>,
+    lte_a3: A3Tracker,
+    nr_a3: A3Tracker,
+}
+
+impl NsaUe {
+    /// Creates a detached UE with the operator's A3 configurations.
+    pub fn new(lte_a3: A3Config, nr_a3: A3Config) -> Self {
+        NsaUe {
+            lte_serving: None,
+            nr_serving: None,
+            lte_a3: A3Tracker::new(lte_a3),
+            nr_a3: A3Tracker::new(nr_a3),
+        }
+    }
+
+    /// Whether the UE currently has a 5G data plane.
+    pub fn on_nr(&self) -> bool {
+        self.nr_serving.is_some()
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HandoffCampaign {
+    /// LTE A3 parameters (paper: 1 dB / 324 ms).
+    pub lte_a3: A3Config,
+    /// NR A3 parameters (paper: 3 dB / 324 ms).
+    pub nr_a3: A3Config,
+    /// RSRP above which the NR leg is added (B1), dBm.
+    pub nr_add_threshold: Dbm,
+    /// RSRP below which the NR leg is released, dBm (service threshold).
+    pub nr_drop_threshold: Dbm,
+    /// How long after completion the "after" RSRQ is sampled.
+    pub after_delay: SimDuration,
+}
+
+impl Default for HandoffCampaign {
+    fn default() -> Self {
+        HandoffCampaign {
+            lte_a3: A3Config::paper_lte(),
+            nr_a3: A3Config::paper_nr(),
+            nr_add_threshold: Dbm::new(-100.0),
+            nr_drop_threshold: Dbm::new(-105.0),
+            after_delay: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// A pending "measure RSRQ after the hand-off" task.
+struct PendingAfter {
+    record_idx: usize,
+    due: SimTime,
+    pci: u16,
+    tech: Tech,
+}
+
+impl HandoffCampaign {
+    /// Runs the campaign over a mobility trace, returning the hand-off
+    /// log. Records whose "after" RSRQ could not be sampled before the
+    /// trace ended are dropped.
+    pub fn run(&self, env: &RadioEnv, trace: &MobilityTrace, rng: &mut SimRng) -> Vec<HandoffRecord> {
+        let mut ue = NsaUe::new(self.lte_a3, self.nr_a3);
+        let mut records: Vec<HandoffRecord> = Vec::new();
+        let mut filled: Vec<bool> = Vec::new();
+        let mut pending: Vec<PendingAfter> = Vec::new();
+
+        for p in trace.iter() {
+            let lte = env.measure_all(p.pos, Tech::Lte);
+            let nr = env.measure_all(p.pos, Tech::Nr);
+
+            // Resolve due "after" measurements.
+            pending.retain(|task| {
+                if p.t < task.due {
+                    return true;
+                }
+                let all = if task.tech == Tech::Lte { &lte } else { &nr };
+                if let Some(m) = all.iter().find(|m| m.pci == task.pci) {
+                    records[task.record_idx].rsrq_after = m.rsrq;
+                    filled[task.record_idx] = true;
+                }
+                false
+            });
+
+            // Initial LTE attach.
+            if ue.lte_serving.is_none() {
+                if let Some(best) = lte.first() {
+                    if best.rsrp >= self.nr_drop_threshold {
+                        ue.lte_serving = Some(best.pci);
+                    }
+                }
+                continue;
+            }
+
+            let lte_pci = ue.lte_serving.expect("attached above");
+            let Some(lte_srv) = lte.iter().find(|m| m.pci == lte_pci).copied() else {
+                ue.lte_serving = None;
+                continue;
+            };
+
+            // --- NR leg management ---
+            match ue.nr_serving {
+                Some(nr_pci) => {
+                    let srv = nr.iter().find(|m| m.pci == nr_pci).copied();
+                    match srv {
+                        Some(srv) if srv.rsrp >= self.nr_drop_threshold => {
+                            // Horizontal NR hand-off via A3.
+                            let best_neigh = nr
+                                .iter()
+                                .find(|m| m.pci != nr_pci)
+                                .map(|m| (m.pci, m.rsrq));
+                            if let Some(target) =
+                                ue.nr_a3.observe(p.t, srv.rsrq, best_neigh)
+                            {
+                                let latency =
+                                    HandoffProcedure::nr_to_nr().sample_latency(rng);
+                                records.push(HandoffRecord {
+                                    t: p.t,
+                                    kind: HandoffKind::NrToNr,
+                                    from_pci: nr_pci,
+                                    to_pci: target,
+                                    latency,
+                                    rsrq_before: srv.rsrq,
+                                    rsrq_after: Db::new(0.0),
+                                });
+                                filled.push(false);
+                                pending.push(PendingAfter {
+                                    record_idx: records.len() - 1,
+                                    due: p.t + latency + self.after_delay,
+                                    pci: target,
+                                    tech: Tech::Nr,
+                                });
+                                ue.nr_serving = Some(target);
+                                ue.nr_a3.reset();
+                            }
+                        }
+                        _ => {
+                            // Coverage lost: vertical 5G→4G fallback.
+                            let latency = HandoffProcedure::nr_to_lte().sample_latency(rng);
+                            let before = srv.map(|m| m.rsrq).unwrap_or(Db::new(-25.0));
+                            records.push(HandoffRecord {
+                                t: p.t,
+                                kind: HandoffKind::NrToLte,
+                                from_pci: nr_pci,
+                                to_pci: lte_pci,
+                                latency,
+                                rsrq_before: before,
+                                rsrq_after: Db::new(0.0),
+                            });
+                            filled.push(false);
+                            pending.push(PendingAfter {
+                                record_idx: records.len() - 1,
+                                due: p.t + latency + self.after_delay,
+                                pci: lte_pci,
+                                tech: Tech::Lte,
+                            });
+                            ue.nr_serving = None;
+                            ue.nr_a3.reset();
+                        }
+                    }
+                }
+                None => {
+                    // B1: add the NR leg when coverage appears.
+                    if let Some(best) = nr.first() {
+                        if best.rsrp >= self.nr_add_threshold {
+                            let latency = HandoffProcedure::lte_to_nr().sample_latency(rng);
+                            records.push(HandoffRecord {
+                                t: p.t,
+                                kind: HandoffKind::LteToNr,
+                                from_pci: lte_pci,
+                                to_pci: best.pci,
+                                latency,
+                                rsrq_before: lte_srv.rsrq,
+                                rsrq_after: Db::new(0.0),
+                            });
+                            filled.push(false);
+                            pending.push(PendingAfter {
+                                record_idx: records.len() - 1,
+                                due: p.t + latency + self.after_delay,
+                                pci: best.pci,
+                                tech: Tech::Nr,
+                            });
+                            ue.nr_serving = Some(best.pci);
+                        }
+                    }
+                }
+            }
+
+            // --- LTE anchor hand-off via A3 ---
+            let best_neigh = lte
+                .iter()
+                .find(|m| m.pci != lte_pci)
+                .map(|m| (m.pci, m.rsrq));
+            if let Some(target) = ue.lte_a3.observe(p.t, lte_srv.rsrq, best_neigh) {
+                // With an NR leg the anchor change rides inside a 5G-5G
+                // procedure in practice; we log it as 4G-4G only when no
+                // NR leg exists (matching how the paper classifies by the
+                // radio the data plane is on).
+                let kind = if ue.on_nr() {
+                    HandoffKind::NrToNr
+                } else {
+                    HandoffKind::LteToLte
+                };
+                let proc = if kind == HandoffKind::NrToNr {
+                    HandoffProcedure::nr_to_nr()
+                } else {
+                    HandoffProcedure::lte_to_lte()
+                };
+                let latency = proc.sample_latency(rng);
+                let (before, after_pci, after_tech) = if kind == HandoffKind::NrToNr {
+                    let nr_pci = ue.nr_serving.expect("on_nr checked");
+                    let before = nr
+                        .iter()
+                        .find(|m| m.pci == nr_pci)
+                        .map(|m| m.rsrq)
+                        .unwrap_or(lte_srv.rsrq);
+                    // The NSA procedure releases the NR leg and re-adds
+                    // it on the target anchor, so the UE comes back on
+                    // the *best* NR cell there (often a different one —
+                    // anchors are co-sited with the gNBs).
+                    let new_nr = nr.first().map(|m| m.pci).unwrap_or(nr_pci);
+                    ue.nr_serving = Some(new_nr);
+                    ue.nr_a3.reset();
+                    (before, new_nr, Tech::Nr)
+                } else {
+                    (lte_srv.rsrq, target, Tech::Lte)
+                };
+                records.push(HandoffRecord {
+                    t: p.t,
+                    kind,
+                    from_pci: lte_pci,
+                    to_pci: target,
+                    latency,
+                    rsrq_before: before,
+                    rsrq_after: Db::new(0.0),
+                });
+                filled.push(false);
+                pending.push(PendingAfter {
+                    record_idx: records.len() - 1,
+                    due: p.t + latency + self.after_delay,
+                    pci: after_pci,
+                    tech: after_tech,
+                });
+                ue.lte_serving = Some(target);
+                ue.lte_a3.reset();
+            }
+        }
+
+        records
+            .into_iter()
+            .zip(filled)
+            .filter_map(|(r, ok)| ok.then_some(r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_geo::mobility::RandomWaypoint;
+    use fiveg_geo::{Campus, CampusConfig};
+
+    fn env() -> RadioEnv {
+        let campus = Campus::generate(&CampusConfig::default(), &mut SimRng::new(2020));
+        RadioEnv::from_campus(&campus, 77, 0.5, 0.05)
+    }
+
+    fn campaign_records(minutes: u64, seed: u64) -> Vec<HandoffRecord> {
+        let e = env();
+        let rwp = RandomWaypoint {
+            speed_min_kmh: 3.0,
+            speed_max_kmh: 10.0,
+            duration: SimDuration::from_secs(minutes * 60),
+            interval: SimDuration::from_millis(100),
+        };
+        let mut rng = SimRng::new(seed);
+        let trace = rwp.generate(&e.map, &mut rng.substream("mobility"));
+        HandoffCampaign::default().run(&e, &trace, &mut rng.substream("handoff"))
+    }
+
+    #[test]
+    fn campaign_produces_handoffs() {
+        let recs = campaign_records(20, 1);
+        assert!(recs.len() > 10, "only {} hand-offs", recs.len());
+        // Both horizontal and vertical events occur.
+        assert!(recs.iter().any(|r| r.kind.is_horizontal()));
+        assert!(recs.iter().any(|r| !r.kind.is_horizontal()));
+    }
+
+    #[test]
+    fn horizontal_handoffs_dominate() {
+        // Paper: 387 horizontal vs 20 vertical out of 407.
+        let recs = campaign_records(30, 2);
+        let horiz = recs.iter().filter(|r| r.kind.is_horizontal()).count();
+        assert!(
+            horiz * 2 > recs.len(),
+            "{horiz}/{} horizontal",
+            recs.len()
+        );
+    }
+
+    #[test]
+    fn latencies_follow_procedure_means() {
+        let recs = campaign_records(30, 3);
+        let mean_of = |k: HandoffKind| {
+            let v: Vec<f64> = recs
+                .iter()
+                .filter(|r| r.kind == k)
+                .map(|r| r.latency.as_millis_f64())
+                .collect();
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        let l55 = mean_of(HandoffKind::NrToNr);
+        let l44 = mean_of(HandoffKind::LteToLte);
+        if !l55.is_nan() && !l44.is_nan() {
+            assert!(l55 > l44 + 40.0, "5G-5G {l55} vs 4G-4G {l44}");
+        }
+    }
+
+    #[test]
+    fn most_horizontal_handoffs_gain_rsrq() {
+        let recs = campaign_records(40, 4);
+        let horiz: Vec<_> = recs.iter().filter(|r| r.kind.is_horizontal()).collect();
+        assert!(horiz.len() >= 10);
+        let gained = horiz.iter().filter(|r| r.rsrq_gain().value() > 0.0).count();
+        // The A3 rule picks better cells, so the majority of hand-offs
+        // gain — but a non-negligible fraction do not (the paper found
+        // 25 % fail to gain 3 dB; Sec. 3.4).
+        assert!(
+            gained * 2 > horiz.len(),
+            "{gained}/{} gained",
+            horiz.len()
+        );
+        let missed_3db = horiz
+            .iter()
+            .filter(|r| r.rsrq_gain().value() <= 3.0)
+            .count();
+        assert!(
+            missed_3db * 10 > horiz.len(),
+            "only {missed_3db}/{} below 3 dB gain",
+            horiz.len()
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = campaign_records(10, 9);
+        let b = campaign_records(10, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.t, y.t);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.to_pci, y.to_pci);
+        }
+    }
+}

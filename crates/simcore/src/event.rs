@@ -1,0 +1,218 @@
+//! Generic discrete-event queue.
+//!
+//! [`EventQueue`] is a monotonic priority queue of `(time, payload)` pairs.
+//! Ties on time are broken by insertion order (FIFO), so simulations that
+//! schedule the same events in the same order always execute them in the
+//! same order — a hard requirement for reproducibility.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event that has been scheduled on an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotonic sequence number used for FIFO tie-breaking.
+    pub seq: u64,
+    /// The caller-defined payload.
+    pub payload: E,
+}
+
+/// Internal heap entry; `BinaryHeap` is a max-heap so ordering is reversed.
+struct HeapEntry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: the heap's "largest" element is the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// The queue tracks the current virtual time: popping an event advances the
+/// clock to that event's timestamp. Scheduling an event in the past is a
+/// logic error and panics in debug builds; in release it is clamped to the
+/// current time so the simulation keeps a coherent, monotonic clock.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    now: SimTime,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events executed (popped) so far.
+    pub fn executed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Returns the sequence number assigned to the event.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> u64 {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { at, seq, payload });
+        seq
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, payload: E) -> u64 {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue time went backwards");
+        self.now = entry.at;
+        self.popped += 1;
+        Some(ScheduledEvent {
+            at: entry.at,
+            seq: entry.seq,
+            payload: entry.payload,
+        })
+    }
+
+    /// Pops the earliest event only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<ScheduledEvent<E>> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Discards all pending events without touching the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Forces the clock forward to `at` (no-op if `at` is in the past).
+    /// Useful for draining idle periods.
+    pub fn advance_to(&mut self, at: SimTime) {
+        if at > self.now {
+            self.now = at;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), "c");
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_millis(30));
+        assert_eq!(q.executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        let expect: Vec<_> = (0..100).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), 1);
+        q.pop();
+        q.schedule_in(SimDuration::from_millis(5), 2);
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), 1);
+        q.schedule_at(SimTime::from_millis(20), 2);
+        assert_eq!(q.pop_until(SimTime::from_millis(15)).unwrap().payload, 1);
+        assert!(q.pop_until(SimTime::from_millis(15)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_millis(50));
+        q.advance_to(SimTime::from_millis(10));
+        assert_eq!(q.now(), SimTime::from_millis(50));
+    }
+}

@@ -1,0 +1,47 @@
+//! # fiveg-simcore
+//!
+//! Deterministic discrete-event simulation kernel shared by every crate in
+//! the `fiveg` workspace, the simulation reproduction of *"Understanding
+//! Operational 5G: A First Measurement Study on Its Coverage, Performance
+//! and Energy Consumption"* (SIGCOMM 2020).
+//!
+//! The kernel is deliberately small and synchronous: simulations here are
+//! CPU-bound, single-threaded and must be bit-for-bit reproducible from a
+//! seed. The design follows the smoltcp school of event-driven code — the
+//! world owns all state, events are plain values ordered by a monotonic
+//! virtual clock, and nothing in the hot path allocates beyond the event
+//! queue itself.
+//!
+//! Modules:
+//!
+//! * [`time`] — nanosecond-resolution virtual clock ([`SimTime`],
+//!   [`SimDuration`]).
+//! * [`event`] — generic binary-heap event queue with deterministic
+//!   FIFO tie-breaking.
+//! * [`rng`] — seedable ChaCha-based random stream with named substreams.
+//! * [`dist`] — the probability distributions the models need (normal,
+//!   log-normal, exponential, Pareto), implemented on top of [`rng`].
+//! * [`stats`] — online statistics, histograms and empirical CDFs used to
+//!   aggregate measurement campaigns.
+//! * [`units`] — strongly-typed radio/network units (dBm, dB, Hz, bit/s,
+//!   mW, J) with explicit, documented conversions.
+//! * [`trace`] — lightweight time-series recorders for KPI and power
+//!   traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use stats::{Cdf, Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime};
+pub use trace::TimeSeries;
+pub use units::{Bandwidth, BitRate, Db, Dbm, Energy, Frequency, Power};

@@ -1,0 +1,129 @@
+//! TCP NewReno congestion control (RFC 5681/6582 semantics).
+
+use crate::cc::{initial_cwnd, min_cwnd, mss, AckSample, CongestionControl};
+use fiveg_simcore::SimTime;
+
+/// Loss-based AIMD: slow start to `ssthresh`, then +1 MSS per RTT;
+/// multiplicative decrease by ½ on loss.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl Reno {
+    /// Creates a fresh connection state.
+    pub fn new() -> Self {
+        Reno {
+            cwnd: initial_cwnd(),
+            ssthresh: f64::INFINITY,
+        }
+    }
+}
+
+impl Default for Reno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Reno {
+    fn name(&self) -> &'static str {
+        "Reno"
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    fn on_ack(&mut self, sample: AckSample) {
+        if self.in_slow_start() {
+            self.cwnd += sample.acked_bytes as f64;
+        } else {
+            // Congestion avoidance: ~1 MSS per cwnd of acked data.
+            self.cwnd += mss() * mss() * (sample.acked_bytes as f64 / mss()) / self.cwnd;
+        }
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(min_cwnd());
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(min_cwnd());
+        self.cwnd = mss();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_simcore::SimDuration;
+
+    fn ack(bytes: u64) -> AckSample {
+        AckSample {
+            now: SimTime::ZERO,
+            acked_bytes: bytes,
+            rtt: Some(SimDuration::from_millis(20)),
+            in_flight: 0,
+            delivery_rate: None,
+            app_limited: false,
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut r = Reno::new();
+        let w0 = r.cwnd();
+        // Acking a whole window in slow start doubles it.
+        r.on_ack(ack(w0 as u64));
+        assert!((r.cwnd() - 2.0 * w0).abs() < 1.0);
+    }
+
+    #[test]
+    fn congestion_avoidance_linear() {
+        let mut r = Reno::new();
+        r.on_loss_event(SimTime::ZERO); // forces ssthresh = cwnd/2
+        let w = r.cwnd();
+        assert!(!r.in_slow_start());
+        // One full window of ACKs adds ≈1 MSS.
+        let mut acked = 0.0;
+        while acked < w {
+            r.on_ack(ack(mss() as u64));
+            acked += mss();
+        }
+        assert!((r.cwnd() - (w + mss())).abs() < mss() * 0.2, "{}", r.cwnd());
+    }
+
+    #[test]
+    fn loss_halves() {
+        let mut r = Reno::new();
+        r.on_ack(ack(100_000));
+        let w = r.cwnd();
+        r.on_loss_event(SimTime::ZERO);
+        assert!((r.cwnd() - w / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rto_collapses_to_one_mss() {
+        let mut r = Reno::new();
+        r.on_ack(ack(100_000));
+        r.on_rto(SimTime::ZERO);
+        assert_eq!(r.cwnd(), mss());
+        assert!(r.in_slow_start());
+    }
+
+    #[test]
+    fn cwnd_never_below_minimum_after_losses() {
+        let mut r = Reno::new();
+        for _ in 0..50 {
+            r.on_loss_event(SimTime::ZERO);
+        }
+        assert!(r.cwnd() >= min_cwnd());
+    }
+}

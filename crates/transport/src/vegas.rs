@@ -1,0 +1,180 @@
+//! TCP Vegas congestion control (Brakmo & Peterson).
+//!
+//! Delay-based: compares expected throughput (cwnd/baseRTT) with actual
+//! (cwnd/RTT) and keeps the difference — the queue the flow itself
+//! builds — between `alpha` and `beta` packets. The paper measures 12.1 %
+//! utilisation on 5G: the deep RAN buffer plus cross-traffic bursts
+//! inflate RTT, which Vegas reads as self-induced queueing and backs off.
+
+use crate::cc::{initial_cwnd, min_cwnd, mss, AckSample, CongestionControl};
+use fiveg_simcore::{SimDuration, SimTime};
+
+const ALPHA_PKTS: f64 = 2.0;
+const BETA_PKTS: f64 = 4.0;
+const GAMMA_PKTS: f64 = 1.0; // slow-start exit threshold
+
+/// Vegas state.
+#[derive(Debug, Clone)]
+pub struct Vegas {
+    cwnd: f64,
+    base_rtt: SimDuration,
+    /// End of the current once-per-RTT adjustment round.
+    round_end: Option<SimTime>,
+    slow_start: bool,
+}
+
+impl Vegas {
+    /// Creates a fresh connection state.
+    pub fn new() -> Self {
+        Vegas {
+            cwnd: initial_cwnd(),
+            base_rtt: SimDuration::MAX,
+            round_end: None,
+            slow_start: true,
+        }
+    }
+
+    /// Self-induced queue estimate, packets.
+    fn diff_pkts(&self, rtt: SimDuration) -> f64 {
+        if self.base_rtt == SimDuration::MAX || rtt.is_zero() {
+            return 0.0;
+        }
+        let cwnd_pkts = self.cwnd / mss();
+        cwnd_pkts * (1.0 - self.base_rtt.as_secs_f64() / rtt.as_secs_f64())
+    }
+}
+
+impl Default for Vegas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn name(&self) -> &'static str {
+        "Vegas"
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.slow_start
+    }
+
+    fn on_ack(&mut self, sample: AckSample) {
+        let Some(rtt) = sample.rtt else {
+            return;
+        };
+        if rtt < self.base_rtt {
+            self.base_rtt = rtt;
+        }
+        let Some(round_end) = self.round_end else {
+            // First sample: open the first round, no adjustment yet.
+            self.round_end = Some(sample.now + rtt);
+            if self.slow_start {
+                self.cwnd += sample.acked_bytes as f64 / 2.0;
+            }
+            return;
+        };
+        if sample.now < round_end {
+            // Within the round: slow start still grows per ACK (every
+            // other RTT in real Vegas; halved here).
+            if self.slow_start {
+                self.cwnd += sample.acked_bytes as f64 / 2.0;
+            }
+            return;
+        }
+        // Round boundary: one Vegas adjustment using this sample's RTT
+        // (the freshest view of the path's queueing state).
+        let diff = self.diff_pkts(rtt);
+        if self.slow_start {
+            if diff > GAMMA_PKTS {
+                self.slow_start = false;
+                self.cwnd = (self.cwnd - (diff - GAMMA_PKTS) * mss()).max(min_cwnd());
+            }
+        } else if diff < ALPHA_PKTS {
+            self.cwnd += mss();
+        } else if diff > BETA_PKTS {
+            self.cwnd = (self.cwnd - mss()).max(min_cwnd());
+        }
+        self.round_end = Some(sample.now + rtt);
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        self.slow_start = false;
+        self.cwnd = (self.cwnd * 0.75).max(min_cwnd());
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.slow_start = false;
+        self.cwnd = (2.0 * mss()).max(min_cwnd());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(now_ms: u64, rtt_ms: u64) -> AckSample {
+        AckSample {
+            now: SimTime::from_millis(now_ms),
+            acked_bytes: mss() as u64,
+            rtt: Some(SimDuration::from_millis(rtt_ms)),
+            in_flight: 0,
+            delivery_rate: None,
+            app_limited: false,
+        }
+    }
+
+    #[test]
+    fn base_rtt_tracks_minimum() {
+        let mut v = Vegas::new();
+        v.on_ack(sample(0, 30));
+        v.on_ack(sample(10, 20));
+        v.on_ack(sample(20, 40));
+        assert_eq!(v.base_rtt, SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn grows_when_queue_below_alpha() {
+        let mut v = Vegas::new();
+        v.slow_start = false;
+        v.on_ack(sample(0, 20)); // sets base_rtt, starts round
+        let w = v.cwnd();
+        // RTT equals base ⇒ diff 0 < alpha ⇒ +1 MSS at round end.
+        v.on_ack(sample(100, 20));
+        assert!((v.cwnd() - (w + mss())).abs() < 1.0);
+    }
+
+    #[test]
+    fn shrinks_when_queue_above_beta() {
+        let mut v = Vegas::new();
+        v.slow_start = false;
+        v.cwnd = 100.0 * mss();
+        v.on_ack(sample(0, 20)); // base = 20 ms
+        let w = v.cwnd();
+        // RTT 30 ms ⇒ diff = 100·(1−20/30) ≈ 33 pkts > beta ⇒ −1 MSS.
+        v.on_ack(sample(100, 30));
+        assert!((v.cwnd() - (w - mss())).abs() < 1.0);
+    }
+
+    #[test]
+    fn exits_slow_start_on_queue_buildup() {
+        let mut v = Vegas::new();
+        assert!(v.in_slow_start());
+        v.cwnd = 50.0 * mss();
+        v.on_ack(sample(0, 20)); // base 20
+        v.on_ack(sample(100, 40)); // diff = 25 pkts > gamma at round end
+        assert!(!v.in_slow_start());
+    }
+
+    #[test]
+    fn loss_backs_off_mildly() {
+        let mut v = Vegas::new();
+        v.cwnd = 100.0 * mss();
+        v.on_loss_event(SimTime::ZERO);
+        assert!((v.cwnd() - 75.0 * mss()).abs() < 1.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! TCP Veno congestion control (Fu & Liew, 2003).
+//!
+//! Reno's loss response modulated by a Vegas-style queue estimate `N`:
+//! when a loss strikes while `N < beta` the loss is deemed *random*
+//! (wireless) and the window is only cut to 0.8×; otherwise congestive
+//! and cut to 0.5×. In congestion avoidance, growth slows to every other
+//! ACK once `N > beta`.
+
+use crate::cc::{initial_cwnd, min_cwnd, mss, AckSample, CongestionControl};
+use fiveg_simcore::{SimDuration, SimTime};
+
+const BETA_PKTS: f64 = 3.0;
+
+/// Veno state.
+#[derive(Debug, Clone)]
+pub struct Veno {
+    cwnd: f64,
+    ssthresh: f64,
+    base_rtt: SimDuration,
+    last_rtt: SimDuration,
+    /// Toggles growth every other ACK-window in the congested regime.
+    hold: bool,
+}
+
+impl Veno {
+    /// Creates a fresh connection state.
+    pub fn new() -> Self {
+        Veno {
+            cwnd: initial_cwnd(),
+            ssthresh: f64::INFINITY,
+            base_rtt: SimDuration::MAX,
+            last_rtt: SimDuration::from_millis(100),
+            hold: false,
+        }
+    }
+
+    /// Vegas-style backlog estimate `N`, packets.
+    fn backlog_pkts(&self) -> f64 {
+        if self.base_rtt == SimDuration::MAX || self.last_rtt.is_zero() {
+            return 0.0;
+        }
+        let cwnd_pkts = self.cwnd / mss();
+        cwnd_pkts * (1.0 - self.base_rtt.as_secs_f64() / self.last_rtt.as_secs_f64())
+    }
+}
+
+impl Default for Veno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Veno {
+    fn name(&self) -> &'static str {
+        "Veno"
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    fn on_ack(&mut self, sample: AckSample) {
+        if let Some(rtt) = sample.rtt {
+            if rtt < self.base_rtt {
+                self.base_rtt = rtt;
+            }
+            self.last_rtt = rtt;
+        }
+        if self.in_slow_start() {
+            self.cwnd += sample.acked_bytes as f64;
+            return;
+        }
+        let increment = mss() * mss() * (sample.acked_bytes as f64 / mss()) / self.cwnd;
+        if self.backlog_pkts() <= BETA_PKTS {
+            // Channel under-utilised: Reno-speed growth.
+            self.cwnd += increment;
+        } else {
+            // Backlogged: grow at half speed (every other ACK batch).
+            if self.hold {
+                self.cwnd += increment;
+            }
+            self.hold = !self.hold;
+        }
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        let factor = if self.backlog_pkts() < BETA_PKTS {
+            // Random (wireless) loss: gentle cut.
+            0.8
+        } else {
+            // Congestive loss: Reno cut.
+            0.5
+        };
+        self.ssthresh = (self.cwnd * factor).max(min_cwnd());
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(min_cwnd());
+        self.cwnd = mss();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rtt_ms: u64) -> AckSample {
+        AckSample {
+            now: SimTime::ZERO,
+            acked_bytes: mss() as u64,
+            rtt: Some(SimDuration::from_millis(rtt_ms)),
+            in_flight: 0,
+            delivery_rate: None,
+            app_limited: false,
+        }
+    }
+
+    #[test]
+    fn random_loss_cuts_gently() {
+        let mut v = Veno::new();
+        v.cwnd = 100.0 * mss();
+        v.ssthresh = 50.0 * mss();
+        // RTT at base ⇒ backlog ≈ 0 ⇒ random-loss regime.
+        v.on_ack(sample(20));
+        let w = v.cwnd();
+        v.on_loss_event(SimTime::ZERO);
+        assert!((v.cwnd() - w * 0.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn congestive_loss_halves() {
+        let mut v = Veno::new();
+        v.cwnd = 100.0 * mss();
+        v.ssthresh = 50.0 * mss();
+        v.on_ack(sample(20)); // base 20
+        v.on_ack(sample(40)); // backlog = 50 pkts > beta
+        let w = v.cwnd();
+        v.on_loss_event(SimTime::ZERO);
+        assert!((v.cwnd() - w * 0.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn growth_halves_when_backlogged() {
+        let mut v = Veno::new();
+        v.cwnd = 100.0 * mss();
+        v.ssthresh = 50.0 * mss();
+        v.on_ack(sample(20));
+        // Backlogged regime: only every other ACK grows the window.
+        v.last_rtt = SimDuration::from_millis(40);
+        let w0 = v.cwnd();
+        v.on_ack(sample(40));
+        let grew_first = v.cwnd() > w0;
+        let w1 = v.cwnd();
+        v.on_ack(sample(40));
+        let grew_second = v.cwnd() > w1;
+        assert!(grew_first != grew_second, "growth must alternate");
+    }
+
+    #[test]
+    fn slow_start_like_reno() {
+        let mut v = Veno::new();
+        let w = v.cwnd();
+        v.on_ack(AckSample {
+            acked_bytes: w as u64,
+            ..sample(20)
+        });
+        assert!((v.cwnd() - 2.0 * w).abs() < 1.0);
+    }
+}

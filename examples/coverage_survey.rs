@@ -1,0 +1,21 @@
+//! The Sec. 3 coverage study: blanket road survey, RSRP distribution,
+//! the campus map and the indoor-outdoor gap.
+//!
+//! Run with: `cargo run --release --example coverage_survey`
+
+use fiveg_core::experiments::coverage;
+use fiveg_core::Scenario;
+
+fn main() {
+    let sc = Scenario::paper(2020);
+    let t1 = coverage::table1(&sc);
+    print!("{}", t1.to_text());
+    let t2 = coverage::table2(&sc, 4630);
+    print!("{}", t2.to_text());
+    let map = coverage::fig2a(&sc, 20.0);
+    print!("{}", map.to_text());
+    let cell = coverage::fig2b(&sc);
+    print!("{}", cell.to_text());
+    let gap = coverage::fig3(&sc);
+    print!("{}", gap.to_text());
+}

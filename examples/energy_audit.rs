@@ -1,0 +1,18 @@
+//! The Sec. 6 energy study: component breakdown, energy-per-bit,
+//! the pwrStrip trace with its NSA double-length tail, and the
+//! power-management strategy comparison.
+//!
+//! Run with: `cargo run --release --example energy_audit`
+
+use fiveg_core::experiments::energy;
+
+fn main() {
+    let f21 = energy::fig21(60);
+    print!("{}", f21.to_text());
+    let f22 = energy::fig22();
+    print!("{}", f22.to_text());
+    let f23 = energy::fig23();
+    print!("{}", f23.to_text());
+    let t4 = energy::table4();
+    print!("{}", t4.to_text());
+}
