@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints on the campaign crate, the full test
+# suite, and a golden-regression smoke through the repro binary.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# The pre-campaign crates predate rustfmt enforcement; hold the new
+# subsystem's files to it without churning the rest.
+echo "== rustfmt --check (campaign subsystem) =="
+rustfmt --edition 2021 --check \
+  crates/campaign/src/*.rs \
+  crates/bench/src/bin/repro.rs \
+  crates/core/src/jobs.rs \
+  tests/campaign_determinism.rs
+
+echo "== cargo clippy (fiveg-campaign) =="
+cargo clippy --release -p fiveg-campaign -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== golden smoke: repro --only table1 --check =="
+cargo run --release -q -p fiveg-bench --bin repro -- \
+  --only table1 --out target/ci-repro-out --check golden/quick-s2020
+
+echo "ci: all green"

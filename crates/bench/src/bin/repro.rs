@@ -1,118 +1,242 @@
-//! Regenerates every table and figure of the paper.
+//! Regenerates every table and figure of the paper via the campaign
+//! executor.
 //!
-//! Usage:
-//!
-//! ```text
-//! repro [--paper] [--out DIR]
-//! ```
-//!
-//! By default runs at Quick fidelity and writes text + JSON artifacts to
-//! `./repro-out/`. `--paper` switches to the paper's methodology scale
-//! (60 s flows, 5 repetitions, 80-minute hand-off campaign) — expect it
-//! to take a while.
+//! A thin CLI over [`fiveg_campaign`]: job selection, worker count and
+//! golden checks live in the library; this binary only parses flags,
+//! streams progress to stderr and sets the exit code.
 
-use fiveg_bench::write_artifact;
-use fiveg_core::experiments::{application, coverage, discussion, energy, handoff, latency, throughput};
-use fiveg_core::{Fidelity, Scenario};
-use serde::Serialize;
+use fiveg_campaign::{check_run, run, write_golden, write_run, JobEvent, RunConfig};
+use fiveg_core::campaign::FidelityLevel;
+use fiveg_core::jobs::paper_registry;
+use std::io::Write;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let fidelity = if args.iter().any(|a| a == "--paper") {
-        Fidelity::Paper
-    } else {
-        Fidelity::Quick
+const USAGE: &str = "\
+Usage: repro [OPTIONS]
+
+Regenerates the paper's tables and figures as text + JSON artifacts.
+
+Options:
+  --paper          paper-methodology fidelity (default: quick)
+  --out DIR        artifact directory (default: repro-out)
+  --seed N         base seed (default: 2020)
+  --jobs N         worker threads (default: all cores; results are
+                   byte-identical for any value)
+  --only FILTER    run only jobs whose name or section contains FILTER
+  --check DIR      diff the run's JSON artifacts against golden DIR and
+                   exit non-zero on any drift
+  --bless DIR      write the run's JSON artifacts to DIR as new goldens
+  --list           list registered jobs and exit
+  -h, --help       show this help
+";
+
+struct Cli {
+    fidelity: FidelityLevel,
+    out: PathBuf,
+    seed: u64,
+    jobs: usize,
+    only: Option<String>,
+    check: Option<PathBuf>,
+    bless: Option<PathBuf>,
+    list: bool,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        fidelity: FidelityLevel::Quick,
+        out: PathBuf::from("repro-out"),
+        seed: 2020,
+        jobs: default_jobs(),
+        only: None,
+        check: None,
+        bless: None,
+        list: false,
     };
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("repro-out"));
-    let seed = 2020;
-    let sc = Scenario::paper(seed);
-
-    println!("fiveg repro — fidelity {fidelity:?}, seed {seed}, output {}\n", out.display());
-
-    let mut emit = |name: &str, text: String, json: String| {
-        print!("{text}");
-        if let Err(e) = write_artifact(&out, &format!("{name}.txt"), &text) {
-            eprintln!("warn: could not write {name}.txt: {e}");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--paper" => cli.fidelity = FidelityLevel::Paper,
+            "--out" => cli.out = PathBuf::from(value("--out")?),
+            "--seed" => {
+                cli.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--jobs" => {
+                cli.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if cli.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--only" => cli.only = Some(value("--only")?.to_string()),
+            "--check" => cli.check = Some(PathBuf::from(value("--check")?)),
+            "--bless" => cli.bless = Some(PathBuf::from(value("--bless")?)),
+            "--list" => cli.list = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
         }
-        if let Err(e) = write_artifact(&out, &format!("{name}.json"), &json) {
-            eprintln!("warn: could not write {name}.json: {e}");
+    }
+    Ok(cli)
+}
+
+fn progress(ev: &JobEvent) {
+    match ev {
+        JobEvent::Started { name, rep } => {
+            if *rep == 0 {
+                eprintln!("        start  {name}");
+            } else {
+                eprintln!("        start  {name} (rep {rep})");
+            }
         }
-        println!();
+        JobEvent::Finished {
+            name,
+            rep,
+            ok,
+            error,
+            attempts,
+            wall_ms,
+            done,
+            total,
+        } => {
+            let status = if *ok { "ok    " } else { "FAILED" };
+            let rep_tag = if *rep == 0 {
+                String::new()
+            } else {
+                format!(" (rep {rep})")
+            };
+            let retry_tag = if *attempts > 1 {
+                format!(", {attempts} attempts")
+            } else {
+                String::new()
+            };
+            eprintln!("[{done:>2}/{total}] {status} {name}{rep_tag}  {wall_ms} ms{retry_tag}");
+            if let Some(e) = error {
+                eprintln!("        error: {e}");
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
     };
 
-    fn json<T: Serialize>(v: &T) -> String {
-        serde_json::to_string_pretty(v).expect("experiment results serialise")
+    let registry = paper_registry();
+    if cli.list {
+        // `let _ =`: a closed pipe (`repro --list | head`) is fine.
+        let mut out = std::io::stdout().lock();
+        for (name, section, reps) in registry.describe() {
+            if reps > 1 {
+                let _ = writeln!(out, "{name:<14} {section}  ({reps} reps)");
+            } else {
+                let _ = writeln!(out, "{name:<14} {section}");
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
-    // --- Sec. 3: coverage ---
-    let t1 = coverage::table1(&sc);
-    emit("table1", t1.to_text(), json(&t1));
-    let t2 = coverage::table2(&sc, 4630);
-    emit("table2", t2.to_text(), json(&t2));
-    let f2a = coverage::fig2a(&sc, 20.0);
-    emit("fig2a", f2a.to_text(), json(&f2a));
-    let f2b = coverage::fig2b(&sc);
-    emit("fig2b", f2b.to_text(), json(&f2b));
-    let f3 = coverage::fig3(&sc);
-    emit("fig3", f3.to_text(), json(&f3));
+    let mut cfg = RunConfig::new(cli.seed)
+        .fidelity(cli.fidelity)
+        .workers(cli.jobs);
+    if let Some(f) = &cli.only {
+        cfg = cfg.only(f.clone());
+    }
 
-    // --- Sec. 3.4: hand-off ---
-    let f4 = handoff::fig4(&sc);
-    emit("fig4", f4.to_text(), json(&f4));
-    let study = handoff::handoff_study(&sc, fidelity);
-    emit("fig5_fig6", study.to_text(), json(&study));
-    let f12 = handoff::fig12(&sc, if fidelity == Fidelity::Paper { 30 } else { 5 });
-    emit("fig12", f12.to_text(), json(&f12));
+    eprintln!(
+        "fiveg repro — fidelity {}, seed {}, {} workers, output {}",
+        cli.fidelity.name(),
+        cli.seed,
+        cfg.workers,
+        cli.out.display()
+    );
 
-    // --- Sec. 4: throughput & loss ---
-    let f7 = throughput::fig7(fidelity, seed);
-    emit("fig7", f7.to_text(), json(&f7));
-    let f8 = throughput::fig8(fidelity, seed);
-    emit("fig8", f8.to_text(), json(&f8));
-    let f9 = throughput::fig9(fidelity, seed);
-    emit("fig9", f9.to_text(), json(&f9));
-    let f10 = throughput::fig10(seed, 100_000);
-    emit("fig10", f10.to_text(), json(&f10));
-    let f11 = throughput::fig11(fidelity, seed);
-    emit("fig11", f11.to_text(), json(&f11));
-    let t3 = throughput::table3(fidelity, seed);
-    emit("table3", t3.to_text(), json(&t3));
+    let report = run(&registry, &cfg, &mut progress);
+    if report.results.is_empty() {
+        eprintln!(
+            "error: no jobs matched{}",
+            cli.only
+                .as_deref()
+                .map(|f| format!(" `{f}`"))
+                .unwrap_or_default()
+        );
+        return ExitCode::from(2);
+    }
 
-    // --- Sec. 4.4: latency ---
-    let f13 = latency::fig13(fidelity, seed);
-    emit("fig13", f13.to_text(), json(&f13));
-    let f14 = latency::fig14(seed, 100);
-    emit("fig14", f14.to_text(), json(&f14));
-    let f15 = latency::fig15(fidelity, seed);
-    emit("fig15", f15.to_text(), json(&f15));
+    // The classic human-readable report, in deterministic job order.
+    // Write errors (closed pipe) don't abort the run: artifacts and the
+    // exit code still matter to whoever truncated our stdout.
+    let mut stdout = std::io::stdout().lock();
+    for r in &report.results {
+        if let Some(out) = &r.output {
+            let _ = writeln!(stdout, "{}", out.text);
+        }
+    }
+    drop(stdout);
 
-    // --- Sec. 5: applications ---
-    let f16 = application::fig16(fidelity, seed);
-    emit("fig16", f16.to_text(), json(&f16));
-    let f17 = application::fig17(seed);
-    emit("fig17", f17.to_text(), json(&f17));
-    let video = application::video_study(fidelity, seed);
-    emit("fig18_19_20", video.to_text(), json(&video));
+    match write_run(&cli.out, &report) {
+        Ok(n) => eprintln!(
+            "wrote {n} artifacts + manifest.json to {} in {:.1} s",
+            cli.out.display(),
+            report.wall.as_secs_f64()
+        ),
+        Err(e) => {
+            eprintln!("error: writing artifacts to {}: {e}", cli.out.display());
+            return ExitCode::from(2);
+        }
+    }
 
-    // --- Sec. 6: energy ---
-    let f21 = energy::fig21(60);
-    emit("fig21", f21.to_text(), json(&f21));
-    let f22 = energy::fig22();
-    emit("fig22", f22.to_text(), json(&f22));
-    let f23 = energy::fig23();
-    emit("fig23", f23.to_text(), json(&f23));
-    let t4 = energy::table4();
-    emit("table4", t4.to_text(), json(&t4));
+    if let Some(dir) = &cli.bless {
+        match write_golden(dir, &report) {
+            Ok(n) => eprintln!("blessed {n} golden artifacts in {}", dir.display()),
+            Err(e) => {
+                eprintln!("error: blessing goldens in {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
 
-    // --- Sec. 8: discussion ---
-    let cpe = discussion::cpe_study(&sc);
-    emit("sec8_cpe_dsl", cpe.to_text(), json(&cpe));
+    let mut failed = report.failures() > 0;
+    if let Some(dir) = &cli.check {
+        match check_run(dir, &report) {
+            Ok(golden) => {
+                eprint!("{}", golden.summary());
+                failed |= !golden.ok();
+            }
+            Err(e) => {
+                eprintln!("error: reading goldens in {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
 
-    println!("done: artifacts in {}", out.display());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -1,0 +1,226 @@
+//! Golden-result regression checks.
+//!
+//! A golden directory holds committed JSON artifacts from a blessed run
+//! (same base seed and fidelity). `check_run` diffs a fresh
+//! [`RunReport`](crate::RunReport) against it: any byte difference,
+//! missing golden file, or failed job is drift, and the caller exits
+//! non-zero.
+
+use crate::executor::RunReport;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Outcome of checking one artifact against its golden file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactCheck {
+    /// Bytes match.
+    Match {
+        /// Artifact file name.
+        name: String,
+    },
+    /// Bytes differ; carries the first differing line for diagnosis.
+    Drift {
+        /// Artifact file name.
+        name: String,
+        /// 1-based line number of the first difference.
+        line: usize,
+        /// The golden line (or `<eof>`).
+        expected: String,
+        /// The freshly produced line (or `<eof>`).
+        actual: String,
+    },
+    /// The run produced an artifact with no committed golden.
+    MissingGolden {
+        /// Artifact file name.
+        name: String,
+    },
+    /// The job failed, so there is nothing to compare.
+    JobFailed {
+        /// Job name.
+        name: String,
+        /// Failure message.
+        error: String,
+    },
+}
+
+impl ArtifactCheck {
+    /// Whether this check passes.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ArtifactCheck::Match { .. })
+    }
+
+    /// One-line rendering for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            ArtifactCheck::Match { name } => format!("ok      {name}"),
+            ArtifactCheck::Drift {
+                name,
+                line,
+                expected,
+                actual,
+            } => format!(
+                "DRIFT   {name}: first difference at line {line}\n  golden: {expected}\n  actual: {actual}"
+            ),
+            ArtifactCheck::MissingGolden { name } => {
+                format!("MISSING {name}: no golden file (bless the run to add it)")
+            }
+            ArtifactCheck::JobFailed { name, error } => {
+                format!("FAILED  {name}: job did not produce an artifact: {error}")
+            }
+        }
+    }
+}
+
+/// All artifact checks for one run.
+#[derive(Debug, Clone)]
+pub struct GoldenReport {
+    /// Per-artifact outcomes, in run order.
+    pub checks: Vec<ArtifactCheck>,
+}
+
+impl GoldenReport {
+    /// Whether every artifact matched its golden.
+    pub fn ok(&self) -> bool {
+        self.checks.iter().all(ArtifactCheck::is_ok)
+    }
+
+    /// Number of non-matching artifacts.
+    pub fn drift_count(&self) -> usize {
+        self.checks.iter().filter(|c| !c.is_ok()).count()
+    }
+
+    /// Multi-line human summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            out.push_str(&c.describe());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "golden check: {} artifacts, {} drifted\n",
+            self.checks.len(),
+            self.drift_count()
+        ));
+        out
+    }
+}
+
+fn first_diff_line(expected: &str, actual: &str) -> (usize, String, String) {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return (i + 1, e.to_string(), a.to_string());
+        }
+    }
+    let n = expected.lines().count().min(actual.lines().count());
+    let e = expected.lines().nth(n).unwrap_or("<eof>").to_string();
+    let a = actual.lines().nth(n).unwrap_or("<eof>").to_string();
+    (n + 1, e, a)
+}
+
+/// Checks `(file_name, produced_json)` pairs against `golden_dir`.
+pub fn check_artifacts(
+    golden_dir: &Path,
+    produced: &[(String, String)],
+) -> io::Result<GoldenReport> {
+    let mut checks = Vec::new();
+    for (name, actual) in produced {
+        let path = golden_dir.join(name);
+        if !path.exists() {
+            checks.push(ArtifactCheck::MissingGolden { name: name.clone() });
+            continue;
+        }
+        let expected = fs::read_to_string(&path)?;
+        if &expected == actual {
+            checks.push(ArtifactCheck::Match { name: name.clone() });
+        } else {
+            let (line, e, a) = first_diff_line(&expected, actual);
+            checks.push(ArtifactCheck::Drift {
+                name: name.clone(),
+                line,
+                expected: e,
+                actual: a,
+            });
+        }
+    }
+    Ok(GoldenReport { checks })
+}
+
+/// Checks every artifact a run produced (and flags failed jobs) against
+/// `golden_dir`.
+pub fn check_run(golden_dir: &Path, report: &RunReport) -> io::Result<GoldenReport> {
+    let mut produced = Vec::new();
+    let mut checks = Vec::new();
+    for r in &report.results {
+        match &r.output {
+            Some(out) => produced.push((format!("{}.json", r.artifact_stem()), out.json.clone())),
+            None => checks.push(ArtifactCheck::JobFailed {
+                name: r.name.clone(),
+                error: match &r.status {
+                    crate::JobStatus::Failed(e) => e.clone(),
+                    crate::JobStatus::Ok => String::new(),
+                },
+            }),
+        }
+    }
+    let mut rep = check_artifacts(golden_dir, &produced)?;
+    rep.checks.extend(checks);
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("fiveg-golden-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn match_drift_and_missing() {
+        let dir = tempdir("basic");
+        fs::write(dir.join("a.json"), "{\n  \"v\": 1\n}").unwrap();
+        fs::write(dir.join("b.json"), "{\n  \"v\": 2\n}").unwrap();
+        let produced = vec![
+            ("a.json".to_string(), "{\n  \"v\": 1\n}".to_string()),
+            ("b.json".to_string(), "{\n  \"v\": 9\n}".to_string()),
+            ("c.json".to_string(), "{}".to_string()),
+        ];
+        let rep = check_artifacts(&dir, &produced).unwrap();
+        assert!(!rep.ok());
+        assert_eq!(rep.drift_count(), 2);
+        assert!(rep.checks[0].is_ok());
+        match &rep.checks[1] {
+            ArtifactCheck::Drift {
+                line,
+                expected,
+                actual,
+                ..
+            } => {
+                assert_eq!(*line, 2);
+                assert!(expected.contains('2'));
+                assert!(actual.contains('9'));
+            }
+            other => panic!("expected drift, got {other:?}"),
+        }
+        assert!(matches!(
+            &rep.checks[2],
+            ArtifactCheck::MissingGolden { .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let dir = tempdir("summary");
+        fs::write(dir.join("x.json"), "1").unwrap();
+        let rep = check_artifacts(&dir, &[("x.json".to_string(), "1".to_string())]).unwrap();
+        assert!(rep.ok());
+        assert!(rep.summary().contains("0 drifted"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,132 @@
+//! Run manifests: what ran, with which seeds, how long, producing what.
+
+use crate::executor::{JobResult, JobStatus, RunConfig};
+use fiveg_simcore::hash::{fnv1a64, hex64};
+use serde::Serialize;
+use std::time::Duration;
+
+/// One work unit's row in the manifest.
+#[derive(Debug, Clone, Serialize)]
+pub struct ManifestJob {
+    /// Job name.
+    pub name: String,
+    /// Paper section/family.
+    pub section: String,
+    /// Repetition index.
+    pub rep: u32,
+    /// Derived seed the unit ran with.
+    pub seed: u64,
+    /// `"ok"` or `"failed"`.
+    pub status: String,
+    /// Failure message, when failed.
+    pub error: Option<String>,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Wall time, milliseconds (informational; varies run to run).
+    pub wall_ms: u64,
+    /// JSON artifact file name, when produced.
+    pub artifact: Option<String>,
+    /// FNV-1a fingerprint of the JSON artifact bytes, when produced.
+    pub json_hash: Option<String>,
+}
+
+/// The `manifest.json` document written next to the artifacts.
+///
+/// Everything except `wall_ms`/`total_wall_ms` is deterministic for a
+/// given `(base_seed, fidelity, job set)` — golden checks diff the
+/// artifacts themselves and treat the manifest as metadata.
+#[derive(Debug, Clone, Serialize)]
+pub struct Manifest {
+    /// Manifest schema version.
+    pub schema: u32,
+    /// Base seed of the run.
+    pub base_seed: u64,
+    /// Fidelity name (`"quick"` / `"paper"`).
+    pub fidelity: String,
+    /// Worker threads used (informational).
+    pub workers: usize,
+    /// Total run wall time, milliseconds (informational).
+    pub total_wall_ms: u64,
+    /// Per-unit rows, in deterministic `(registry, rep)` order.
+    pub jobs: Vec<ManifestJob>,
+}
+
+impl Manifest {
+    /// Builds the manifest for a finished run.
+    pub fn from_results(cfg: &RunConfig, results: &[JobResult], wall: Duration) -> Manifest {
+        let jobs = results
+            .iter()
+            .map(|r| {
+                let (artifact, json_hash) = match &r.output {
+                    Some(out) => (
+                        Some(format!("{}.json", r.artifact_stem())),
+                        Some(hex64(fnv1a64(out.json.as_bytes()))),
+                    ),
+                    None => (None, None),
+                };
+                ManifestJob {
+                    name: r.name.clone(),
+                    section: r.section.clone(),
+                    rep: r.rep,
+                    seed: r.seed,
+                    status: match &r.status {
+                        JobStatus::Ok => "ok".to_string(),
+                        JobStatus::Failed(_) => "failed".to_string(),
+                    },
+                    error: match &r.status {
+                        JobStatus::Failed(e) => Some(e.clone()),
+                        JobStatus::Ok => None,
+                    },
+                    attempts: r.attempts,
+                    wall_ms: r.wall.as_millis() as u64,
+                    artifact,
+                    json_hash,
+                }
+            })
+            .collect();
+        Manifest {
+            schema: 1,
+            base_seed: cfg.base_seed,
+            fidelity: cfg.fidelity.name().to_string(),
+            workers: cfg.workers,
+            total_wall_ms: wall.as_millis() as u64,
+            jobs,
+        }
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{FnJob, JobOutput};
+    use crate::registry::Registry;
+
+    #[test]
+    fn manifest_rows_mirror_results() {
+        let mut reg = Registry::new();
+        reg.register(FnJob::new("ok_job", "test", |_| {
+            Ok(JobOutput::new("t".into(), "{\"v\":1}".into()))
+        }));
+        reg.register(FnJob::new("bad_job", "test", |_| Err("boom".into())).with_retry_budget(0));
+        let report = crate::run(&reg, &RunConfig::new(5), &mut |_| {});
+        let m = &report.manifest;
+        assert_eq!(m.schema, 1);
+        assert_eq!(m.base_seed, 5);
+        assert_eq!(m.jobs.len(), 2);
+        let ok = &m.jobs[0];
+        assert_eq!(ok.status, "ok");
+        assert_eq!(ok.artifact.as_deref(), Some("ok_job.json"));
+        assert_eq!(ok.json_hash.as_deref().map(|h| h.len()), Some(16));
+        let bad = &m.jobs[1];
+        assert_eq!(bad.status, "failed");
+        assert_eq!(bad.error.as_deref(), Some("boom"));
+        assert!(bad.artifact.is_none());
+        let json = m.to_json();
+        assert!(json.contains("\"base_seed\": 5"));
+    }
+}

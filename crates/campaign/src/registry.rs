@@ -1,0 +1,97 @@
+//! The job registry: the paper suite as enumerable data.
+
+use crate::job::Job;
+use std::sync::Arc;
+
+/// An ordered collection of registered jobs.
+///
+/// Order is preserved for display and artifact listing; it has no effect
+/// on results (seeds derive from job *names*).
+#[derive(Default, Clone)]
+pub struct Registry {
+    jobs: Vec<Arc<dyn Job>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers a job. Panics on duplicate names — artifact files and
+    /// derived seeds key off the name, so duplicates would collide.
+    pub fn register(&mut self, job: impl Job + 'static) {
+        assert!(
+            !self.jobs.iter().any(|j| j.name() == job.name()),
+            "duplicate job name `{}`",
+            job.name()
+        );
+        self.jobs.push(Arc::new(job));
+    }
+
+    /// All jobs, in registration order.
+    pub fn jobs(&self) -> &[Arc<dyn Job>] {
+        &self.jobs
+    }
+
+    /// Number of registered jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Jobs whose name or section contains `filter` (substring match,
+    /// the `--only` semantics).
+    pub fn matching(&self, filter: &str) -> Vec<Arc<dyn Job>> {
+        self.jobs
+            .iter()
+            .filter(|j| j.name().contains(filter) || j.section().contains(filter))
+            .cloned()
+            .collect()
+    }
+
+    /// `(name, section, reps)` rows for `--list`.
+    pub fn describe(&self) -> Vec<(String, String, u32)> {
+        self.jobs
+            .iter()
+            .map(|j| (j.name().to_string(), j.section().to_string(), j.reps()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{FnJob, JobOutput};
+
+    fn noop(name: &'static str, section: &'static str) -> FnJob {
+        FnJob::new(name, section, |_| {
+            Ok(JobOutput::new(String::new(), String::new()))
+        })
+    }
+
+    #[test]
+    fn registry_preserves_order_and_filters() {
+        let mut r = Registry::new();
+        r.register(noop("table1", "coverage"));
+        r.register(noop("fig7", "throughput"));
+        r.register(noop("fig9", "throughput"));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.matching("throughput").len(), 2);
+        assert_eq!(r.matching("table1").len(), 1);
+        assert_eq!(r.matching("nope").len(), 0);
+        assert_eq!(r.describe()[0].0, "table1");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate job name")]
+    fn duplicate_names_rejected() {
+        let mut r = Registry::new();
+        r.register(noop("x", "a"));
+        r.register(noop("x", "b"));
+    }
+}

@@ -390,26 +390,31 @@ pub fn fig3(sc: &Scenario) -> Fig3 {
         if !(60.0..=160.0).contains(&nearest) {
             continue;
         }
-        // Indoor spot: jittered interior point; outdoor: just past the
-        // west wall.
-        let indoor = Point::new(
-            c.x + rng.range_f64(-3.0, 3.0),
-            c.y + rng.range_f64(-3.0, 3.0),
-        );
-        let outdoor = Point::new(b.footprint.min.x - 4.0, c.y);
-        if sc.campus.map.is_indoor(outdoor) {
-            continue;
-        }
-        for (tech, ovec, ivec) in [
-            (Tech::Nr, &mut out.outdoor_5g, &mut out.indoor_5g),
-            (Tech::Lte, &mut out.outdoor_4g, &mut out.indoor_4g),
-        ] {
-            if let (Some(o), Some(i)) = (
-                sc.env.kpi_sample(outdoor, tech, 1.0),
-                sc.env.kpi_sample(indoor, tech, 1.0),
-            ) {
-                ovec.push(o.bitrate.mbps());
-                ivec.push(i.bitrate.mbps());
+        // Several adjacent spot pairs straddling the west wall: indoor
+        // just inside, outdoor just outside, at the same height along
+        // the wall. Keeping the pair a few metres apart isolates the
+        // penetration loss — comparing the wall spot against the
+        // building *centre* would fold tens of metres of path-loss and
+        // shadowing difference into the "indoor drop".
+        let half_h = (b.footprint.max.y - b.footprint.min.y) / 2.0;
+        for _ in 0..3 {
+            let y = c.y + rng.range_f64(-half_h * 0.6, half_h * 0.6);
+            let indoor = Point::new(b.footprint.min.x + 3.0, y);
+            let outdoor = Point::new(b.footprint.min.x - 4.0, y);
+            if !sc.campus.map.is_indoor(indoor) || sc.campus.map.is_indoor(outdoor) {
+                continue;
+            }
+            for (tech, ovec, ivec) in [
+                (Tech::Nr, &mut out.outdoor_5g, &mut out.indoor_5g),
+                (Tech::Lte, &mut out.outdoor_4g, &mut out.indoor_4g),
+            ] {
+                if let (Some(o), Some(i)) = (
+                    sc.env.kpi_sample(outdoor, tech, 1.0),
+                    sc.env.kpi_sample(indoor, tech, 1.0),
+                ) {
+                    ovec.push(o.bitrate.mbps());
+                    ivec.push(i.bitrate.mbps());
+                }
             }
         }
     }

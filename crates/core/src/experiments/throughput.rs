@@ -354,9 +354,37 @@ impl Fig11 {
 }
 
 /// Runs Fig. 11: a UDP stream at the 5G baseline with sequence logging.
+///
+/// On top of the shared paper path, the radio link rate dips every
+/// couple of seconds (mmWave-style fades / rate re-adaptation). With
+/// the sender pinned at the 880 Mbps baseline, each dip overflows the
+/// deep RLC buffer and — since the UDP stream is alone on the radio
+/// hop — the overflow drops land on *consecutive* sequence numbers:
+/// the paper's bursty-loss signature.
 pub fn fig11(fidelity: Fidelity, seed: u64) -> Fig11 {
     let p = PaperPathParams::nr_day();
-    let path = PathConfig::paper(&p, Direction::Downlink);
+    let mut path = PathConfig::paper(&p, Direction::Downlink);
+    let mut fade_rng = SimRng::new(seed ^ 0xf1611);
+    let mut points: Vec<(SimTime, BitRate)> = vec![(SimTime::ZERO, BitRate::from_mbps(p.radio_rate_mbps))];
+    let mut t_ms = 0.0;
+    loop {
+        // A fade every ~2 s, dropping the link to ~10–15 % of the
+        // baseline for ~80–120 ms.
+        t_ms += fade_rng.range_f64(1_500.0, 2_500.0);
+        if t_ms > 60_000.0 {
+            break;
+        }
+        let dip = p.radio_rate_mbps * fade_rng.range_f64(0.10, 0.15);
+        let dur = fade_rng.range_f64(80.0, 120.0);
+        points.push((SimTime::ZERO + SimDuration::from_secs_f64(t_ms / 1e3), BitRate::from_mbps(dip)));
+        points.push((
+            SimTime::ZERO + SimDuration::from_secs_f64((t_ms + dur) / 1e3),
+            BitRate::from_mbps(p.radio_rate_mbps),
+        ));
+        t_ms += dur;
+    }
+    let radio = path.radio_hop_index();
+    path.hops[radio].rate = fiveg_net::ratemodel::RateModel::piecewise(points);
     let cross = path.paper_cross_traffic();
     let mut sim = NetSim::new(path, seed);
     sim.add_cross_traffic(cross);

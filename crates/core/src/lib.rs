@@ -38,6 +38,7 @@
 
 pub mod calib;
 pub mod experiments;
+pub mod jobs;
 pub mod report;
 pub mod scenario;
 
@@ -45,6 +46,7 @@ pub use scenario::{Fidelity, Scenario};
 
 // Re-export the component crates so downstream users need one dependency.
 pub use fiveg_apps as apps;
+pub use fiveg_campaign as campaign;
 pub use fiveg_energy as energy;
 pub use fiveg_geo as geo;
 pub use fiveg_net as net;

@@ -127,16 +127,22 @@ impl Ctx<'_> {
 struct Receiver {
     /// Next in-order byte expected.
     expected: u64,
-    /// Out-of-order ranges received: start → end.
+    /// Out-of-order ranges received: start → end. Kept merged (disjoint,
+    /// all strictly above `expected`) so per-packet work is O(log n) —
+    /// during a large loss episode this map holds thousands of ranges
+    /// and any full scan per packet turns the simulation quadratic.
     ooo: BTreeMap<u64, u64>,
+    /// Total bytes covered by `ooo`, maintained incrementally.
+    ooo_total: u64,
     /// Highest seq end seen.
     highest_seq: u64,
     /// Whether the flow wants cumulative ACKs (TCP yes, UDP no).
     wants_acks: bool,
     /// Whether to log every received sequence number (Fig. 11).
     record_seqs: bool,
-    /// Rotation cursor over out-of-order ranges for SACK advertisement.
-    sack_rotate: usize,
+    /// Rotation cursor (a range-start key) over out-of-order ranges for
+    /// SACK advertisement.
+    sack_cursor: u64,
     stats: FlowStats,
 }
 
@@ -248,10 +254,11 @@ impl NetSim {
             receiver: Receiver {
                 expected: 0,
                 ooo: BTreeMap::new(),
+                ooo_total: 0,
                 highest_seq: 0,
                 wants_acks,
                 record_seqs,
-                sack_rotate: 0,
+                sack_cursor: 0,
                 stats: FlowStats::default(),
             },
             started: false,
@@ -314,9 +321,7 @@ impl NetSim {
     ) -> Option<SimTime> {
         self.start_pending_flows();
         while self.flows[flow.0 as usize].receiver.stats.bytes_in_order < bytes {
-            let Some(ev) = self.q.pop_until(deadline) else {
-                return None;
-            };
+            let ev = self.q.pop_until(deadline)?;
             self.dispatch(ev.payload);
         }
         Some(self.q.now())
@@ -490,19 +495,26 @@ impl NetSim {
         rx.highest_seq = rx.highest_seq.max(pkt.seq_end());
         // Reassembly: merge into the out-of-order map, advance expected.
         if pkt.seq_end() > rx.expected {
-            let start = pkt.seq.max(rx.expected);
-            let entry = rx.ooo.entry(start).or_insert(0);
-            *entry = (*entry).max(pkt.seq_end());
-        }
-        loop {
-            // Pop ranges that begin at or before `expected`.
-            let Some((&s, &e)) = rx.ooo.range(..=rx.expected).next_back() else {
-                break;
-            };
-            if s > rx.expected {
-                break;
+            let mut new_s = pkt.seq.max(rx.expected);
+            let mut new_e = pkt.seq_end();
+            // Absorb overlapping/adjacent ranges (contiguous in key
+            // order around the new one, since the map stays disjoint).
+            while let Some((&s, &e)) = rx.ooo.range(..=new_e).next_back() {
+                if e < new_s {
+                    break;
+                }
+                rx.ooo.remove(&s);
+                rx.ooo_total -= e - s;
+                new_s = new_s.min(s);
+                new_e = new_e.max(e);
             }
+            rx.ooo.insert(new_s, new_e);
+            rx.ooo_total += new_e - new_s;
+        }
+        // Pop ranges that begin at or before `expected`.
+        while let Some((&s, &e)) = rx.ooo.range(..=rx.expected).next_back() {
             rx.ooo.remove(&s);
+            rx.ooo_total -= e - s;
             if e > rx.expected {
                 rx.expected = e;
             }
@@ -512,42 +524,40 @@ impl NetSim {
         if rx.wants_acks {
             let mut sack = [(0u64, 0u64); 3];
             let mut sack_len = 0u8;
-            let mut ooo_bytes = 0u64;
-            let mut covered_to = rx.expected;
-            let ranges: Vec<(u64, u64)> = rx.ooo.iter().map(|(&s, &e)| (s, e)).collect();
-            for &(s, e) in &ranges {
-                // Ranges may overlap (the reassembly map is merged
-                // lazily); count each byte once.
-                if e > covered_to {
-                    ooo_bytes += e - s.max(covered_to);
-                    covered_to = e;
-                }
-            }
-            if !ranges.is_empty() {
+            // The map is disjoint and above `expected`, so the exact
+            // out-of-order byte count is just the maintained total.
+            let ooo_bytes = rx.ooo_total;
+            if !rx.ooo.is_empty() {
                 // Real TCP advertises the block containing the packet
                 // that triggered this ACK first, then rotates through
                 // older blocks — over a train of ACKs the sender learns
                 // the whole scoreboard even when holes outnumber the
                 // three advertised blocks.
-                if let Some(&hit) = ranges
-                    .iter()
-                    .find(|&&(s, e)| s <= pkt.seq && pkt.seq < e)
-                {
-                    sack[0] = hit;
-                    sack_len = 1;
+                if let Some((&s, &e)) = rx.ooo.range(..=pkt.seq).next_back() {
+                    if pkt.seq < e {
+                        sack[0] = (s, e);
+                        sack_len = 1;
+                    }
                 }
-                let mut cursor = rx.sack_rotate;
+                let n = rx.ooo.len();
+                let mut cursor = rx.sack_cursor;
                 let mut scanned = 0;
-                while (sack_len as usize) < sack.len() && scanned < ranges.len() {
-                    let cand = ranges[cursor % ranges.len()];
-                    cursor += 1;
+                while (sack_len as usize) < sack.len() && scanned < n {
+                    let cand = rx
+                        .ooo
+                        .range(cursor..)
+                        .next()
+                        .or_else(|| rx.ooo.iter().next())
+                        .map(|(&s, &e)| (s, e))
+                        .expect("map checked non-empty");
+                    cursor = cand.0 + 1;
                     scanned += 1;
                     if !sack[..sack_len as usize].contains(&cand) {
                         sack[sack_len as usize] = cand;
                         sack_len += 1;
                     }
                 }
-                rx.sack_rotate = cursor % ranges.len().max(1);
+                rx.sack_cursor = cursor;
             }
             let ack = AckInfo {
                 cum_ack: rx.expected,

@@ -1,0 +1,86 @@
+//! Stable, dependency-free hashing for seeds and result artifacts.
+//!
+//! Two consumers rely on these functions being *stable across runs,
+//! platforms and refactors*:
+//!
+//! * seed derivation — `fiveg-campaign` derives each job's RNG seed by
+//!   hashing `(base_seed, job_name, rep)`, so results are identical
+//!   regardless of worker count or scheduling order;
+//! * artifact fingerprints — run manifests record a hash of every JSON
+//!   artifact so golden-result regression checks can diff cheaply.
+//!
+//! `std::hash` offers no such stability guarantee (and `DefaultHasher`
+//! explicitly disclaims it), hence this module. FNV-1a is small, has no
+//! dependencies, and is plenty for fingerprinting and seed spreading.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a state.
+pub fn fnv1a64_extend(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_extend(FNV_OFFSET, bytes)
+}
+
+/// Hashes a sequence of byte fields, length-prefixing each so that
+/// `["ab", "c"]` and `["a", "bc"]` hash differently.
+pub fn stable_hash_fields(fields: &[&[u8]]) -> u64 {
+    let mut state = FNV_OFFSET;
+    for f in fields {
+        state = fnv1a64_extend(state, &(f.len() as u64).to_le_bytes());
+        state = fnv1a64_extend(state, f);
+    }
+    // Final avalanche (SplitMix64 finalizer) so related inputs spread.
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Renders a hash as fixed-width lowercase hex (16 chars).
+pub fn hex64(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn field_boundaries_matter() {
+        assert_ne!(
+            stable_hash_fields(&[b"ab", b"c"]),
+            stable_hash_fields(&[b"a", b"bc"])
+        );
+        assert_eq!(
+            stable_hash_fields(&[b"ab", b"c"]),
+            stable_hash_fields(&[b"ab", b"c"])
+        );
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex64(0), "0000000000000000");
+        assert_eq!(hex64(u64::MAX), "ffffffffffffffff");
+        assert_eq!(hex64(0xdead_beef), "00000000deadbeef");
+    }
+}

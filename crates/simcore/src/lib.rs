@@ -27,12 +27,15 @@
 //!   mW, J) with explicit, documented conversions.
 //! * [`trace`] — lightweight time-series recorders for KPI and power
 //!   traces.
+//! * [`hash`] — stable FNV-1a hashing for campaign seed derivation and
+//!   artifact fingerprints.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -11,6 +11,7 @@
 //! derivation hashes the parent seed with the label, so streams are stable
 //! under refactoring as long as labels are kept.
 
+use crate::hash::fnv1a64 as fnv1a;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
@@ -19,17 +20,6 @@ use rand_chacha::ChaCha12Rng;
 pub struct SimRng {
     inner: ChaCha12Rng,
     seed: u64,
-}
-
-/// FNV-1a 64-bit hash; tiny, dependency-free and good enough for deriving
-/// substream seeds from labels.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1_0000_0000_01b3);
-    }
-    h
 }
 
 impl SimRng {

@@ -22,17 +22,24 @@ impl TimeSeries {
     }
 
     /// Appends a sample. Samples must be pushed in non-decreasing time
-    /// order; out-of-order pushes panic in debug builds and are dropped in
-    /// release builds.
+    /// order; an out-of-order sample is silently dropped, in every build
+    /// profile. (This used to panic in debug builds and drop in release
+    /// builds — a recorder fed by event-driven callbacks must not turn a
+    /// harmless late sample into a crash that depends on the profile.)
+    /// Use [`TimeSeries::try_push`] to observe whether a sample landed.
     pub fn push(&mut self, t: SimTime, v: f64) {
-        if let Some(&last) = self.times.last() {
-            debug_assert!(t >= last, "time series must be monotonic");
-            if t < last {
-                return;
-            }
+        let _ = self.try_push(t, v);
+    }
+
+    /// Appends a sample; returns `false` (dropping the sample) when `t`
+    /// is earlier than the last recorded time.
+    pub fn try_push(&mut self, t: SimTime, v: f64) -> bool {
+        if self.times.last().is_some_and(|&last| t < last) {
+            return false;
         }
         self.times.push(t);
         self.values.push(v);
+        true
     }
 
     /// Number of samples.
@@ -175,6 +182,19 @@ mod tests {
         ts.push(ms(1000), 10.0);
         let w = ts.windowed_mean(SimDuration::from_secs(1));
         assert_eq!(w, vec![(ms(0), 3.0), (ms(1000), 10.0)]);
+    }
+
+    #[test]
+    fn out_of_order_pushes_are_dropped_in_every_profile() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.try_push(ms(10), 1.0));
+        assert!(!ts.try_push(ms(5), 9.0), "late sample must be rejected");
+        ts.push(ms(5), 9.0); // same behavior via the infallible API
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.last(), Some((ms(10), 1.0)));
+        // Equal timestamps are in order and accepted.
+        assert!(ts.try_push(ms(10), 2.0));
+        assert_eq!(ts.len(), 2);
     }
 
     #[test]

@@ -44,9 +44,15 @@ pub struct TcpSender {
     snd_una: u64,
     /// SACK scoreboard: merged out-of-order ranges above `snd_una`.
     sacked: BTreeMap<u64, u64>,
-    /// Segment starts marked lost and awaiting retransmission.
+    /// Total bytes covered by `sacked`, maintained incrementally — the
+    /// scoreboard can hold thousands of ranges during a big loss episode
+    /// and summing it per ACK made recovery quadratic.
+    sacked_total: u64,
+    /// Segment starts marked lost and awaiting retransmission. Entries
+    /// are deleted lazily: only `queued` membership makes one live, so a
+    /// cancelled segment costs O(log n) instead of an O(n) sweep.
     retx_queue: VecDeque<u64>,
-    /// Mirror of `retx_queue` for O(log n) membership tests.
+    /// The live members of `retx_queue`.
     queued: BTreeSet<u64>,
     /// Lost segments → highest SACKed byte when last (re)transmitted.
     /// When SACK progress moves `REORDER_BYTES` past that watermark and
@@ -54,6 +60,12 @@ pub struct TcpSender {
     /// declared lost and the segment re-queued (RACK-style) — without
     /// this, a lost retransmission stalls until the RTO.
     marked: BTreeMap<u64, u64>,
+    /// Scan cursor for [`TcpSender::mark_losses`]: every hole segment
+    /// below it has already been judged against the byte-evidence rule.
+    /// The rule's verdict never changes once reachable (SACK ranges and
+    /// `snd_una` only grow), so each segment is visited once per episode
+    /// instead of on every ACK.
+    loss_scan: u64,
     in_recovery: bool,
     recover: u64,
     srtt: Option<SimDuration>,
@@ -113,9 +125,11 @@ impl TcpSender {
                 snd_nxt: 0,
                 snd_una: 0,
                 sacked: BTreeMap::new(),
+                sacked_total: 0,
                 retx_queue: VecDeque::new(),
                 queued: BTreeSet::new(),
                 marked: BTreeMap::new(),
+                loss_scan: 0,
                 in_recovery: false,
                 recover: 0,
                 srtt: None,
@@ -136,16 +150,47 @@ impl TcpSender {
     }
 
     fn sacked_bytes(&self) -> u64 {
-        self.sacked.iter().map(|(&s, &e)| e - s).sum()
+        self.sacked_total
     }
 
     /// RFC 6675 "pipe": bytes believed in flight — outstanding minus
     /// SACKed minus lost-but-not-yet-retransmitted.
     fn pipe(&self) -> u64 {
         let raw = self.snd_nxt.saturating_sub(self.snd_una);
-        let lost_unretx = self.retx_queue.len() as u64 * MSS_BYTES as u64;
+        let lost_unretx = self.queued.len() as u64 * MSS_BYTES as u64;
         raw.saturating_sub(self.sacked_bytes())
             .saturating_sub(lost_unretx)
+    }
+
+    /// Removes a scoreboard range, keeping the byte total in sync.
+    fn sack_remove(&mut self, start: u64) -> u64 {
+        let end = self.sacked.remove(&start).expect("range present");
+        self.sacked_total -= end - start;
+        end
+    }
+
+    /// Inserts a scoreboard range, keeping the byte total in sync.
+    fn sack_insert(&mut self, start: u64, end: u64) {
+        self.sacked_total += end - start;
+        self.sacked.insert(start, end);
+    }
+
+    /// Queues a segment for retransmission unless already pending.
+    fn queue_retx(&mut self, seg: u64) {
+        if self.queued.insert(seg) {
+            self.retx_queue.push_back(seg);
+        }
+    }
+
+    /// Pops the next live retransmission candidate, skipping entries
+    /// cancelled since they were queued.
+    fn pop_retx(&mut self) -> Option<u64> {
+        while let Some(seg) = self.retx_queue.pop_front() {
+            if self.queued.remove(&seg) {
+                return Some(seg);
+            }
+        }
+        None
     }
 
     fn app_limited(&self) -> bool {
@@ -214,55 +259,58 @@ impl TcpSender {
     }
 
     /// Merges the ACK's SACK blocks into the scoreboard.
+    ///
+    /// Every step touches only the ranges/segments an incoming block
+    /// actually overlaps — the scoreboard is disjoint and sorted, so a
+    /// full-map sweep per ACK (the old behavior) is never needed.
     fn merge_sack(&mut self, ack: &AckInfo) {
+        let mss = MSS_BYTES as u64;
         for &(s, e) in ack.sack_blocks() {
             if e <= self.snd_una {
                 continue;
             }
             let s = s.max(self.snd_una);
-            // Merge with overlapping/adjacent existing ranges.
+            // Merge with overlapping/adjacent existing ranges: they are
+            // contiguous in key order around the new block.
             let mut new_s = s;
             let mut new_e = e;
-            let overlapping: Vec<u64> = self
-                .sacked
-                .range(..=new_e)
-                .filter(|&(&rs, &re)| re >= new_s && rs <= new_e)
-                .map(|(&rs, _)| rs)
-                .collect();
-            for rs in overlapping {
-                let re = self.sacked.remove(&rs).expect("key just found");
+            while let Some((&rs, &re)) = self.sacked.range(..=new_e).next_back() {
+                if re < new_s {
+                    break;
+                }
+                self.sack_remove(rs);
                 new_s = new_s.min(rs);
                 new_e = new_e.max(re);
             }
-            self.sacked.insert(new_s, new_e);
+            self.sack_insert(new_s, new_e);
+            // Cancel marked/queued segments this block just covered. Only
+            // segments intersecting [s, e) can have newly become fully
+            // SACKed.
+            let lo = s.saturating_sub(mss - 1);
+            let cancelled: Vec<u64> = self
+                .marked
+                .range(lo..e)
+                .map(|(&seg, _)| seg)
+                .filter(|&seg| self.is_sacked_segment(seg))
+                .collect();
+            for seg in cancelled {
+                self.marked.remove(&seg);
+                self.queued.remove(&seg);
+            }
         }
         // Prune below the cumulative ACK.
-        let keys: Vec<u64> = self.sacked.range(..self.snd_una).map(|(&s, _)| s).collect();
-        for k in keys {
-            let e = self.sacked.remove(&k).expect("key just found");
-            if e > self.snd_una {
-                self.sacked.insert(self.snd_una, e);
+        while let Some((&rs, &re)) = self.sacked.iter().next() {
+            if rs >= self.snd_una {
+                break;
+            }
+            self.sack_remove(rs);
+            if re > self.snd_una {
+                self.sack_insert(self.snd_una, re);
+                break;
             }
         }
-        let stale: Vec<u64> = self.marked.range(..self.snd_una).map(|(&s, _)| s).collect();
-        for k in stale {
-            self.marked.remove(&k);
-        }
-        self.retx_queue.retain(|&s| s >= self.snd_una);
-        self.queued.retain(|&s| s >= self.snd_una);
-        // Drop marked/queued segments that have since been SACKed.
-        let sacked_now: Vec<u64> = self
-            .marked
-            .keys()
-            .copied()
-            .filter(|&seg| self.is_sacked_segment(seg))
-            .collect();
-        for seg in sacked_now {
-            self.marked.remove(&seg);
-            if self.queued.remove(&seg) {
-                self.retx_queue.retain(|&s| s != seg);
-            }
-        }
+        self.marked = self.marked.split_off(&self.snd_una);
+        self.queued = self.queued.split_off(&self.snd_una);
     }
 
     /// RACK expiry sweep: pops segments whose transmission is older than
@@ -278,10 +326,7 @@ impl TcpSender {
                 .saturating_sub(reo_wnd.as_nanos()),
         );
         let mut newly = false;
-        loop {
-            let Some(&(t, seg)) = self.sent_index.iter().next() else {
-                break;
-            };
+        while let Some(&(t, seg)) = self.sent_index.iter().next() {
             if t > deadline {
                 break;
             }
@@ -293,8 +338,7 @@ impl TcpSender {
                 continue;
             }
             self.marked.insert(seg, 0);
-            self.queued.insert(seg);
-            self.retx_queue.push_back(seg);
+            self.queue_retx(seg);
             newly = true;
         }
         newly
@@ -309,41 +353,44 @@ impl TcpSender {
             .is_some_and(|(&s, &e)| s <= seg && e >= seg_end)
     }
 
-    /// Marks hole segments lost (dup-thresh rule) and queues them; also
-    /// re-queues segments whose retransmission evidently died. Returns
-    /// whether any *new* segment was marked.
+    /// Marks hole segments lost (dup-thresh rule) and queues them.
+    /// Returns whether any *new* segment was marked.
+    ///
+    /// First-time marking only: retransmissions that die are re-detected
+    /// by RACK (time-based), not by re-applying the byte-evidence rule —
+    /// which would re-queue the same segment on every few KB of new SACKs
+    /// while its retransmission is still in flight. The `loss_scan`
+    /// cursor makes the walk incremental: evidence only accumulates, so
+    /// a segment, once judged, never needs another look.
     fn mark_losses(&mut self) -> bool {
+        let mss = MSS_BYTES as u64;
         let Some((_, &highest_sacked)) = self.sacked.iter().next_back() else {
             return false;
         };
+        // Byte evidence: `highest_sacked >= seg + MSS + REORDER_BYTES`.
+        let Some(limit) = highest_sacked.checked_sub(mss + REORDER_BYTES) else {
+            return false;
+        };
         let mut newly = false;
-        // Walk holes: from snd_una up to the highest SACKed byte.
-        let mut cursor = self.snd_una;
-        let ranges: Vec<(u64, u64)> = self.sacked.iter().map(|(&s, &e)| (s, e)).collect();
-        let mut to_queue: Vec<u64> = Vec::new();
-        for (s, e) in ranges {
-            let mut seg = cursor;
-            while seg + (MSS_BYTES as u64) <= s {
-                // First-time marking only: retransmissions that die are
-                // re-detected by RACK (time-based), not by re-applying
-                // the byte-evidence rule — which would re-queue the same
-                // segment on every few KB of new SACKs while its
-                // retransmission is still in flight.
-                let evidence = highest_sacked >= seg + MSS_BYTES as u64 + REORDER_BYTES;
-                if evidence && !self.marked.contains_key(&seg) {
-                    self.marked.insert(seg, highest_sacked);
-                    to_queue.push(seg);
-                    newly = true;
+        let mut seg = self.snd_una.max(self.loss_scan);
+        while seg <= limit {
+            // Skip SACKed runs wholesale; a partially-SACKed segment is
+            // not a loss candidate and realigns the walk at the range
+            // end (exactly what the per-segment walk used to do).
+            if let Some((_, &re)) = self.sacked.range(..seg + mss).next_back() {
+                if re > seg {
+                    seg = seg.max(re);
+                    continue;
                 }
-                seg += MSS_BYTES as u64;
             }
-            cursor = cursor.max(e);
-        }
-        for seg in to_queue {
-            if self.queued.insert(seg) {
-                self.retx_queue.push_back(seg);
+            if let std::collections::btree_map::Entry::Vacant(v) = self.marked.entry(seg) {
+                v.insert(highest_sacked);
+                self.queue_retx(seg);
+                newly = true;
             }
+            seg += mss;
         }
+        self.loss_scan = self.loss_scan.max(seg);
         newly
     }
 
@@ -381,7 +428,7 @@ impl TcpSender {
                 "pipe={} cwnd={:.0} rq={} sacked={} raw={} una={} nxt={} {}",
                 self.pipe(),
                 self.cc.cwnd(),
-                self.retx_queue.len(),
+                self.queued.len(),
                 self.sacked_bytes(),
                 self.snd_nxt - self.snd_una,
                 self.snd_una,
@@ -395,7 +442,7 @@ impl TcpSender {
     /// Sends whatever the window (pipe) and pacer allow.
     fn try_send(&mut self, ctx: &mut Ctx) {
         loop {
-            let has_retx = !self.retx_queue.is_empty();
+            let has_retx = !self.queued.is_empty();
             let window_space = self.pipe() + MSS_BYTES as u64 <= self.cc.cwnd() as u64;
             if !window_space || (!has_retx && self.app_limited()) {
                 break;
@@ -414,8 +461,7 @@ impl TcpSender {
                     SimDuration::from_secs_f64(rate.secs_for_bits(MSS_BYTES as f64 * 8.0));
                 self.next_send = now.max(self.next_send) + gap;
             }
-            if let Some(seq) = self.retx_queue.pop_front() {
-                self.queued.remove(&seq);
+            if let Some(seq) = self.pop_retx() {
                 // Never retransmit beyond what was originally sent: the
                 // tail segment of an app-limited flow can be shorter
                 // than one MSS.
@@ -570,8 +616,7 @@ impl Endpoint for TcpSender {
                 while seg < self.snd_nxt {
                     if !self.is_sacked_segment(seg) {
                         self.marked.insert(seg, highwater);
-                        self.retx_queue.push_back(seg);
-                        self.queued.insert(seg);
+                        self.queue_retx(seg);
                     }
                     seg += MSS_BYTES as u64;
                 }

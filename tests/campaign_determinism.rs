@@ -1,0 +1,157 @@
+//! End-to-end campaign guarantees, exercised with the real paper jobs:
+//!
+//! * artifacts are byte-identical whatever the worker count,
+//! * a panicking job is retried, reported failed, and never disturbs
+//!   its siblings,
+//! * golden checks accept a blessed run and reject a perturbed one.
+
+use fiveg_campaign::{
+    check_run, derive_seed, run, write_golden, ArtifactCheck, FnJob, Job, JobOutput, JobStatus,
+    Registry, RunConfig, RunReport,
+};
+use fiveg_core::jobs::paper_registry;
+use std::fs;
+
+/// The cheap end of the suite: model-only jobs that finish in
+/// milliseconds, so the determinism comparison runs the real experiment
+/// code twice without dominating the test suite.
+const CHEAP: &str = "sec6-energy";
+
+fn artifact_bytes(report: &RunReport) -> Vec<(String, String)> {
+    report
+        .results
+        .iter()
+        .map(|r| {
+            (
+                r.artifact_stem(),
+                r.output.as_ref().expect("job succeeded").json.clone(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn worker_count_does_not_change_artifacts() {
+    let reg = paper_registry();
+    let one = run(
+        &reg,
+        &RunConfig::new(2020).only(CHEAP).workers(1),
+        &mut |_| {},
+    );
+    let four = run(
+        &reg,
+        &RunConfig::new(2020).only(CHEAP).workers(4),
+        &mut |_| {},
+    );
+    assert_eq!(one.failures(), 0);
+    assert_eq!(four.failures(), 0);
+    assert!(one.results.len() >= 4, "energy section has 4 jobs");
+    assert_eq!(artifact_bytes(&one), artifact_bytes(&four));
+    // Manifest rows (minus wall time) agree too: same seeds, hashes,
+    // order.
+    for (a, b) in one.manifest.jobs.iter().zip(&four.manifest.jobs) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.json_hash, b.json_hash);
+    }
+}
+
+#[test]
+fn seeds_are_per_job_and_stable() {
+    let reg = paper_registry();
+    let report = run(&reg, &RunConfig::new(7).only("sec6-energy"), &mut |_| {});
+    for r in &report.results {
+        assert_eq!(r.seed, derive_seed(7, &r.name, r.rep), "{}", r.name);
+    }
+    // Distinct jobs get distinct seeds.
+    let mut seeds: Vec<u64> = report.results.iter().map(|r| r.seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), report.results.len());
+}
+
+#[test]
+fn panicking_job_fails_without_aborting_siblings() {
+    let mut reg = Registry::new();
+    // A real paper job next to a job that always panics.
+    for job in paper_registry().matching("table4") {
+        reg.register(ArcJob(job));
+    }
+    reg.register(
+        FnJob::new("always_panics", "test", |_| {
+            panic!("deliberate campaign-test panic")
+        })
+        .with_retry_budget(1),
+    );
+    let report = run(&reg, &RunConfig::new(2020).workers(2), &mut |_| {});
+    assert_eq!(report.results.len(), 2);
+    let bad = report
+        .results
+        .iter()
+        .find(|r| r.name == "always_panics")
+        .unwrap();
+    assert!(!bad.is_ok());
+    assert_eq!(bad.attempts, 2, "one retry consumed");
+    assert!(
+        matches!(&bad.status, JobStatus::Failed(e) if e.contains("deliberate")),
+        "panic message propagates"
+    );
+    let good = report.results.iter().find(|r| r.name == "table4").unwrap();
+    assert!(good.is_ok(), "sibling unaffected: {:?}", good.status);
+}
+
+/// Adapter re-registering an `Arc<dyn Job>` from another registry.
+struct ArcJob(std::sync::Arc<dyn Job>);
+
+impl Job for ArcJob {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn section(&self) -> &str {
+        self.0.section()
+    }
+    fn reps(&self) -> u32 {
+        self.0.reps()
+    }
+    fn retry_budget(&self) -> u32 {
+        self.0.retry_budget()
+    }
+    fn run(&self, ctx: &fiveg_campaign::JobCtx) -> Result<JobOutput, String> {
+        self.0.run(ctx)
+    }
+}
+
+#[test]
+fn golden_check_accepts_blessed_and_rejects_perturbed() {
+    let reg = paper_registry();
+    let report = run(&reg, &RunConfig::new(2020).only("table4"), &mut |_| {});
+    assert_eq!(report.failures(), 0);
+
+    let dir = std::env::temp_dir().join(format!("fiveg-campaign-golden-it-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    write_golden(&dir, &report).unwrap();
+
+    // Blessed bytes match.
+    let clean = check_run(&dir, &report).unwrap();
+    assert!(clean.ok(), "{}", clean.summary());
+
+    // A one-character perturbation is drift.
+    let golden = dir.join("table4.json");
+    let text = fs::read_to_string(&golden).unwrap();
+    let digit = text.find(|c: char| c.is_ascii_digit()).unwrap();
+    let mut bytes = text.into_bytes();
+    bytes[digit] = if bytes[digit] == b'9' {
+        b'0'
+    } else {
+        bytes[digit] + 1
+    };
+    fs::write(&golden, &bytes).unwrap();
+    let drifted = check_run(&dir, &report).unwrap();
+    assert!(!drifted.ok());
+    assert!(drifted
+        .checks
+        .iter()
+        .any(|c| matches!(c, ArtifactCheck::Drift { name, .. } if name == "table4.json")));
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,551 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Supports the API surface this workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]`), range
+//! and tuple strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! `any::<T>()`, simple regex string strategies (`"[a-z]{1,8}"`),
+//! `Just`, `prop_oneof!` and `.prop_map`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * Case generation is **deterministic**: case `i` of every test draws
+//!   from a fixed-seed stream, so failures reproduce without a
+//!   regression file.
+//! * No shrinking — the failing inputs are printed by the panic message
+//!   of the `prop_assert!` that fired.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic test-case RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Stream for the `case`-th test case.
+    pub fn for_case(case: u32) -> TestRng {
+        TestRng {
+            state: 0x0e1e_5ce5_5eed_0001u64.wrapping_add((case as u64) << 32),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_uint_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end as u64 - self.start as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as u64 - *self.start() as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                self.start() + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+/// Types with a canonical "anything" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = (rng.unit_f64() * 600.0 - 300.0).exp2();
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Weighted union of strategies, built by [`prop_oneof!`].
+pub struct OneOf<V> {
+    arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>,
+}
+
+impl<V> OneOf<V> {
+    /// Creates an empty union; see [`prop_oneof!`].
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> OneOf<V> {
+        OneOf { arms: Vec::new() }
+    }
+
+    /// Adds an arm with the given weight.
+    pub fn or<S>(mut self, weight: u32, strat: S) -> OneOf<V>
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        self.arms.push((weight, Box::new(move |rng| strat.sample_value(rng))));
+        self
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample_value(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        let mut pick = rng.below(total);
+        for (w, f) in &self.arms {
+            if pick < *w as u64 {
+                return f(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight bookkeeping");
+    }
+}
+
+/// Simple regex-subset string strategy: concatenation of literal chars
+/// and `[a-z0-9]`-style classes, each optionally repeated `{m}`/`{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample_value(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom into the set of chars it can produce.
+            let mut set: Vec<char> = Vec::new();
+            match chars[i] {
+                '[' => {
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            assert!(lo <= hi, "bad char class in {self:?}");
+                            set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated char class in {self:?}");
+                    i += 1; // ']'
+                }
+                '\\' if i + 1 < chars.len() => {
+                    set.push(chars[i + 1]);
+                    i += 2;
+                }
+                c => {
+                    set.push(c);
+                    i += 1;
+                }
+            }
+            // Parse an optional {m} / {m,n} repetition.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (m, n) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("repetition min"),
+                        n.trim().parse::<usize>().expect("repetition max"),
+                    ),
+                    None => {
+                        let k = body.trim().parse::<usize>().expect("repetition count");
+                        (k, k)
+                    }
+                };
+                i = close + 1;
+                (m, n)
+            } else {
+                (1, 1)
+            };
+            assert!(!set.is_empty() && min <= max, "bad pattern {self:?}");
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(set[rng.below(set.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Submodules mirroring proptest's `prop::` namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// `prop::collection::vec(element, size_range)`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.end.saturating_sub(self.size.start).max(1);
+                let len = self.size.start + rng.below(span as u64) as usize;
+                (0..len).map(|_| self.element.sample_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy producing either boolean.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        /// `prop::bool::ANY`.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn sample_value(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Rejects the current case (skips it) when `cond` does not hold.
+///
+/// Mirrors proptest's `prop_assume!`: the case simply doesn't count.
+/// There is no global rejection cap in this vendored subset.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::CaseRejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::CaseRejected);
+        }
+    };
+}
+
+/// Marker returned by a rejected case; see [`prop_assume!`].
+#[derive(Debug, Clone, Copy)]
+pub struct CaseRejected;
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Weighted (or unweighted) union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let __oneof = $crate::OneOf::new();
+        $(let __oneof = __oneof.or($weight as u32, $strat);)+
+        __oneof
+    }};
+    ($($strat:expr),+ $(,)?) => {{
+        let __oneof = $crate::OneOf::new();
+        $(let __oneof = __oneof.or(1u32, $strat);)+
+        __oneof
+    }};
+}
+
+/// The `proptest!` test-definition macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(__case);
+                    $(let $arg = $crate::Strategy::sample_value(&($strat), &mut __rng);)+
+                    // The closure gives `prop_assume!` an early exit that
+                    // skips just this case.
+                    let _: ::core::result::Result<(), $crate::CaseRejected> = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::for_case(0);
+        for _ in 0..500 {
+            let v = (3u64..17).sample_value(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..2.0).sample_value(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_strategy() {
+        let mut rng = crate::TestRng::for_case(1);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".sample_value(&mut rng);
+            assert!((1..=8).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights() {
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = crate::TestRng::for_case(2);
+        let trues = (0..1000).filter(|_| s.sample_value(&mut rng)).count();
+        assert!(trues > 800, "trues {trues}");
+    }
+
+    proptest! {
+        /// The macro itself: args bind, config applies, asserts work.
+        #[test]
+        fn macro_smoke(a in 0u32..10, v in prop::collection::vec(0u64..5, 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(a, a);
+        }
+    }
+}

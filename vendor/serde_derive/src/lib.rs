@@ -1,0 +1,289 @@
+//! Offline drop-in `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually derives — non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple and struct variants) — without
+//! `syn`/`quote`, which are unavailable offline. The input token stream
+//! is walked directly and the impl is emitted as a source string.
+//!
+//! Serialization follows real serde's data model:
+//! named struct -> map, newtype struct -> inner value, tuple struct ->
+//! array, unit struct -> null, unit variant -> string, data variant ->
+//! externally tagged single-entry map.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skips attributes (`#[...]`, including doc comments) starting at `i`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while *i + 1 < toks.len() {
+        match (&toks[*i], &toks[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips tokens until a top-level comma (angle-bracket depth 0), leaving
+/// `i` *on* the comma (or at end of input).
+fn skip_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth: i64 = 0;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses the field names of a `{ ... }` named-field group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        names.push(name.to_string());
+        i += 1; // name
+        i += 1; // ':'
+        skip_until_comma(&toks, &mut i);
+        i += 1; // ','
+    }
+    names
+}
+
+/// Counts the fields of a `( ... )` tuple group.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        n += 1;
+        skip_until_comma(&toks, &mut i);
+        i += 1;
+        if i >= toks.len() {
+            break;
+        }
+    }
+    n
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive (vendored): unsupported struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(body)) = toks.get(i) else {
+                panic!("serde_derive (vendored): expected enum body");
+            };
+            let vt: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < vt.len() {
+                skip_attrs(&vt, &mut j);
+                let Some(TokenTree::Ident(vname)) = vt.get(j) else {
+                    break;
+                };
+                let vname = vname.to_string();
+                j += 1;
+                let fields = match vt.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        Fields::Named(parse_named_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        Fields::Tuple(count_tuple_fields(g))
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an explicit discriminant (`= expr`) if present.
+                skip_until_comma(&vt, &mut j);
+                j += 1;
+                variants.push(Variant { name: vname, fields });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive (vendored): unsupported item kind `{other}`"),
+    }
+}
+
+fn str_lit(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn named_fields_to_map(names: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "({}, ::serde::Serialize::to_value({}{}))",
+                str_lit(f),
+                prefix,
+                f
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn serialize_body(item: &Item) -> String {
+    match item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Named(names) => named_fields_to_map(names, "&self."),
+            Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+            Fields::Unit => "::serde::Value::Null".to_string(),
+        },
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.fields {
+                    Fields::Unit => format!(
+                        "{name}::{vn} => ::serde::Value::Str({}),",
+                        str_lit(vn)
+                    ),
+                    Fields::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let inner = named_fields_to_map(fields, "");
+                        format!(
+                            "{name}::{vn} {{ {pat} }} => ::serde::Value::Map(::std::vec![({}, {inner})]),",
+                            str_lit(vn)
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![({}, ::serde::Serialize::to_value(__f0))]),",
+                        str_lit(vn)
+                    ),
+                    Fields::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let vals: Vec<String> = pats
+                            .iter()
+                            .map(|p| format!("::serde::Serialize::to_value({p})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![({}, ::serde::Value::Array(::std::vec![{}]))]),",
+                            pats.join(", "),
+                            str_lit(vn),
+                            vals.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (vendored data-model flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    let body = serialize_body(&item);
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the (inert) `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{}}"
+    );
+    code.parse().expect("generated Deserialize impl parses")
+}
