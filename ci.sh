@@ -1,29 +1,80 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints on the campaign crate, the full test
-# suite, and a golden-regression smoke through the repro binary.
+# CI gate, in stages: formatting and lints across the whole workspace,
+# build, tests, a golden-regression smoke, a benchmark perf gate and a
+# worker-count determinism check. Each stage is timed; on failure the
+# exit message names the stage that broke.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-# The pre-campaign crates predate rustfmt enforcement; hold the new
-# subsystem's files to it without churning the rest.
-echo "== rustfmt --check (campaign subsystem) =="
-rustfmt --edition 2021 --check \
-  crates/campaign/src/*.rs \
-  crates/bench/src/bin/repro.rs \
-  crates/core/src/jobs.rs \
-  tests/campaign_determinism.rs
+REPRO=(cargo run --release -q -p fiveg-bench --bin repro --)
+BASELINE=golden/bench-baseline.json
 
-echo "== cargo clippy (fiveg-campaign) =="
-cargo clippy --release -p fiveg-campaign -- -D warnings
+CURRENT_STAGE="(setup)"
+STAGE_START=$SECONDS
+STAGE_TIMES=()
 
-echo "== cargo build --release =="
+stage() {
+  local now=$SECONDS
+  if [[ "$CURRENT_STAGE" != "(setup)" ]]; then
+    STAGE_TIMES+=("$(printf '%4ss  %s' $((now - STAGE_START)) "$CURRENT_STAGE")")
+  fi
+  CURRENT_STAGE="$1"
+  STAGE_START=$now
+  echo "== ${1} =="
+}
+
+on_exit() {
+  local code=$?
+  local now=$SECONDS
+  STAGE_TIMES+=("$(printf '%4ss  %s' $((now - STAGE_START)) "$CURRENT_STAGE")")
+  echo "-- stage times --"
+  printf '%s\n' "${STAGE_TIMES[@]}"
+  if [[ $code -ne 0 ]]; then
+    echo "ci: FAILED in stage '${CURRENT_STAGE}' (exit ${code})" >&2
+  else
+    echo "ci: all green"
+  fi
+}
+trap on_exit EXIT
+
+# vendor/ holds offline subsets of external crates and keeps upstream
+# formatting; everything we author is held to rustfmt.
+stage "rustfmt --check (workspace)"
+find crates tests examples -name '*.rs' -print0 \
+  | xargs -0 rustfmt --edition 2021 --check
+
+stage "cargo clippy --workspace"
+cargo clippy --release --workspace -- -D warnings
+
+stage "cargo build --release"
 cargo build --release --workspace
 
-echo "== cargo test =="
+stage "cargo test"
 cargo test -q --workspace
 
-echo "== golden smoke: repro --only table1 --check =="
-cargo run --release -q -p fiveg-bench --bin repro -- \
-  --only table1 --out target/ci-repro-out --check golden/quick-s2020
+stage "golden smoke: repro --only table1 --check"
+"${REPRO[@]}" --only table1 --out target/ci-repro-out --check golden/quick-s2020
 
-echo "ci: all green"
+# Full quick campaign at 8 workers. Counter drift against the committed
+# baseline fails the gate; a >25 % events/sec drop only warns (wall time
+# depends on the host).
+stage "perf gate: repro --bench vs ${BASELINE}"
+"${REPRO[@]}" --jobs 8 --out target/ci-bench-j8 --bench \
+  --bench-check "${BASELINE}" > /dev/null
+
+# Same campaign single-threaded: every artifact byte, every manifest
+# fingerprint and every metrics counter must match the 8-worker run.
+stage "determinism: --jobs 1 vs --jobs 8"
+"${REPRO[@]}" --jobs 1 --out target/ci-bench-j1 --bench \
+  --bench-check target/ci-bench-j8/BENCH_0002.json > /dev/null
+for f in target/ci-bench-j1/*.json; do
+  name=$(basename "$f")
+  # manifest.json and the bench report embed wall times; their
+  # deterministic parts are compared via fingerprints/counters below.
+  [[ "$name" == manifest.json || "$name" == BENCH_0002.json ]] && continue
+  cmp "$f" "target/ci-bench-j8/$name" \
+    || { echo "determinism: artifact $name differs between -j1 and -j8" >&2; exit 1; }
+done
+diff <(grep '"json_hash"' target/ci-bench-j1/manifest.json) \
+     <(grep '"json_hash"' target/ci-bench-j8/manifest.json) \
+  || { echo "determinism: manifest artifact fingerprints differ" >&2; exit 1; }

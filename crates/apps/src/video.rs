@@ -151,7 +151,7 @@ impl VideoSender {
         // add motion bursts that escalate the rate ≈2× for ~0.5 s.
         self.ar_state = 0.9 * self.ar_state + normal(&mut self.rng, 0.0, self.sigma);
         let mut mult = self.ar_state.exp();
-        if self.frame_idx % 30 == 0 {
+        if self.frame_idx.is_multiple_of(30) {
             mult *= 2.2; // I-frame
         }
         if self.dynamic {
@@ -296,8 +296,7 @@ impl VideoSession {
         // Freeze events: delivery gaps > 500 ms between consecutive
         // frames (the paper observed 6 in a 30 s dynamic 5.7K session).
         let mut freezes = 0usize;
-        let mut delivery_times: Vec<SimTime> =
-            frames.iter().filter_map(|f| f.delivered).collect();
+        let mut delivery_times: Vec<SimTime> = frames.iter().filter_map(|f| f.delivered).collect();
         delivery_times.sort_unstable();
         for w in delivery_times.windows(2) {
             if w[1].since(w[0]) > SimDuration::from_millis(500) {
@@ -308,10 +307,7 @@ impl VideoSession {
         // drain would otherwise inflate the mean.
         let mut throughput = sim.flow_stats(flow).throughput_series();
         throughput.retain(|&(t, _)| t < SimTime::ZERO + self.duration);
-        let mean_received_mbps = throughput
-            .iter()
-            .map(|&(_, mbps)| mbps)
-            .sum::<f64>()
+        let mean_received_mbps = throughput.iter().map(|&(_, mbps)| mbps).sum::<f64>()
             / (self.duration.as_secs_f64() * 100.0);
         VideoResult {
             offered_mbps: mean_mbps,
@@ -348,11 +344,7 @@ impl VideoResult {
         if self.frame_delays.is_empty() {
             return SimDuration::ZERO;
         }
-        let total: f64 = self
-            .frame_delays
-            .iter()
-            .map(|(_, d)| d.as_secs_f64())
-            .sum();
+        let total: f64 = self.frame_delays.iter().map(|(_, d)| d.as_secs_f64()).sum();
         SimDuration::from_secs_f64(total / self.frame_delays.len() as f64)
     }
 }

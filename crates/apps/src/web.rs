@@ -167,12 +167,7 @@ mod tests {
     use super::*;
     use fiveg_net::path::{Direction, PaperPathParams};
 
-    fn load(
-        page: WebPage,
-        params: &PaperPathParams,
-        render: f64,
-        seed: u64,
-    ) -> PageLoadResult {
+    fn load(page: WebPage, params: &PaperPathParams, render: f64, seed: u64) -> PageLoadResult {
         let path = PathConfig::paper(params, Direction::Downlink);
         let cross = path.paper_cross_traffic();
         load_page(
@@ -208,7 +203,12 @@ mod tests {
         };
         let render = PageCategory::Shopping.render_seconds(4.0);
         let r = load(page, &PaperPathParams::nr_day(), render, 2);
-        assert!(r.render > r.download, "render {} dl {}", r.render, r.download);
+        assert!(
+            r.render > r.download,
+            "render {} dl {}",
+            r.render,
+            r.download
+        );
     }
 
     #[test]
@@ -249,7 +249,12 @@ mod tests {
         let mut prev = SimDuration::ZERO;
         for mb in [1u64, 4, 16] {
             let ip = ImagePage { image_mb: mb };
-            let r = load(ip.page(), &PaperPathParams::nr_day(), ip.render_seconds(), 5);
+            let r = load(
+                ip.page(),
+                &PaperPathParams::nr_day(),
+                ip.render_seconds(),
+                5,
+            );
             assert!(r.download >= prev, "{mb} MB not slower");
             prev = r.download;
         }

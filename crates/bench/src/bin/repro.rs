@@ -5,6 +5,7 @@
 //! golden checks live in the library; this binary only parses flags,
 //! streams progress to stderr and sets the exit code.
 
+use fiveg_bench::{compare_to_baseline, BenchReport};
 use fiveg_campaign::{check_run, run, write_golden, write_run, JobEvent, RunConfig};
 use fiveg_core::campaign::FidelityLevel;
 use fiveg_core::jobs::paper_registry;
@@ -27,6 +28,14 @@ Options:
   --check DIR      diff the run's JSON artifacts against golden DIR and
                    exit non-zero on any drift
   --bless DIR      write the run's JSON artifacts to DIR as new goldens
+  --bench          also write a benchmark report (BENCH_0002.json in the
+                   artifact directory): per-job wall time, events
+                   simulated, events/sec and all deterministic counters
+  --bench-out FILE write the benchmark report to FILE (implies --bench)
+  --bench-check FILE
+                   compare this run's benchmark report against baseline
+                   FILE (implies --bench): counter drift fails, >25%
+                   events/sec regression only warns
   --list           list registered jobs and exit
   -h, --help       show this help
 ";
@@ -39,6 +48,9 @@ struct Cli {
     only: Option<String>,
     check: Option<PathBuf>,
     bless: Option<PathBuf>,
+    bench: bool,
+    bench_out: Option<PathBuf>,
+    bench_check: Option<PathBuf>,
     list: bool,
 }
 
@@ -57,6 +69,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         only: None,
         check: None,
         bless: None,
+        bench: false,
+        bench_out: None,
+        bench_check: None,
         list: false,
     };
     let mut it = args.iter();
@@ -85,6 +100,15 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--only" => cli.only = Some(value("--only")?.to_string()),
             "--check" => cli.check = Some(PathBuf::from(value("--check")?)),
             "--bless" => cli.bless = Some(PathBuf::from(value("--bless")?)),
+            "--bench" => cli.bench = true,
+            "--bench-out" => {
+                cli.bench = true;
+                cli.bench_out = Some(PathBuf::from(value("--bench-out")?));
+            }
+            "--bench-check" => {
+                cli.bench = true;
+                cli.bench_check = Some(PathBuf::from(value("--bench-check")?));
+            }
             "--list" => cli.list = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -145,6 +169,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    // Validate paths before spending minutes on the run: a mistyped
+    // golden directory or baseline file should fail like a bad flag.
+    if let Some(dir) = &cli.check {
+        if !dir.is_dir() {
+            eprintln!(
+                "error: --check: golden directory `{}` does not exist\n",
+                dir.display()
+            );
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(file) = &cli.bench_check {
+        if !file.is_file() {
+            eprintln!(
+                "error: --bench-check: baseline file `{}` does not exist\n",
+                file.display()
+            );
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
 
     let registry = paper_registry();
     if cli.list {
@@ -221,6 +268,44 @@ fn main() -> ExitCode {
     }
 
     let mut failed = report.failures() > 0;
+
+    if cli.bench {
+        let bench = BenchReport::from_run(&report);
+        let path = cli
+            .bench_out
+            .clone()
+            .unwrap_or_else(|| cli.out.join("BENCH_0002.json"));
+        if let Err(e) = std::fs::write(&path, bench.to_json()) {
+            eprintln!("error: writing bench report to {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote bench report ({} jobs, {} events) to {}",
+            bench.jobs.len(),
+            bench.totals.events,
+            path.display()
+        );
+        if let Some(baseline) = &cli.bench_check {
+            let baseline_json = match std::fs::read_to_string(baseline) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: reading baseline {}: {e}", baseline.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match compare_to_baseline(&bench, &baseline_json) {
+                Ok(cmp) => {
+                    eprint!("{}", cmp.summary());
+                    failed |= !cmp.ok();
+                }
+                Err(e) => {
+                    eprintln!("error: baseline {}: {e}", baseline.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
     if let Some(dir) = &cli.check {
         match check_run(dir, &report) {
             Ok(golden) => {

@@ -7,6 +7,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
+pub use report::{
+    compare_to_baseline, BenchComparison, BenchJob, BenchReport, BenchTotals, BENCH_SCHEMA,
+    THROUGHPUT_WARN_FRACTION,
+};
+
 use std::fs;
 use std::path::Path;
 

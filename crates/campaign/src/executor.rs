@@ -89,6 +89,9 @@ pub struct JobResult {
     pub status: JobStatus,
     /// Output when `status == Ok`.
     pub output: Option<JobOutput>,
+    /// Metrics recorded by the successful attempt (counters, gauges,
+    /// histograms, span timers), when `status == Ok`.
+    pub metrics: Option<fiveg_obs::Snapshot>,
 }
 
 impl JobResult {
@@ -186,7 +189,16 @@ fn run_unit(job: &dyn Job, cfg: &RunConfig, rep: u32) -> JobResult {
     let mut last_err = String::new();
     while attempts < max_attempts {
         attempts += 1;
-        match panic::catch_unwind(AssertUnwindSafe(|| job.run(&ctx))) {
+        // A fresh registry per attempt keeps a failed attempt's partial
+        // counts out of the retry's metrics; the unit runs entirely on
+        // this worker thread, so the thread-local scope sees all of it.
+        let metrics = fiveg_obs::MetricsHandle::new();
+        match panic::catch_unwind(AssertUnwindSafe(|| {
+            fiveg_obs::scoped(&metrics, || {
+                let _timer = fiveg_obs::span("job.run");
+                job.run(&ctx)
+            })
+        })) {
             Ok(Ok(output)) => {
                 return JobResult {
                     name: job.name().to_string(),
@@ -197,6 +209,7 @@ fn run_unit(job: &dyn Job, cfg: &RunConfig, rep: u32) -> JobResult {
                     wall: start.elapsed(),
                     status: JobStatus::Ok,
                     output: Some(output),
+                    metrics: Some(metrics.snapshot()),
                 };
             }
             Ok(Err(e)) => last_err = e,
@@ -212,6 +225,7 @@ fn run_unit(job: &dyn Job, cfg: &RunConfig, rep: u32) -> JobResult {
         wall: start.elapsed(),
         status: JobStatus::Failed(last_err),
         output: None,
+        metrics: None,
     }
 }
 

@@ -3,7 +3,47 @@
 use crate::executor::{JobResult, JobStatus, RunConfig};
 use fiveg_simcore::hash::{fnv1a64, hex64};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Per-unit performance summary (manifest schema ≥ 2).
+///
+/// `counters` is the flattened deterministic view of the unit's metrics
+/// (see `fiveg_obs::Snapshot::deterministic`) — identical run to run for
+/// a fixed seed. `wall_ms` and `events_per_sec` are host measurements
+/// and advisory only.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfBlock {
+    /// Wall time of the unit, milliseconds (advisory).
+    pub wall_ms: u64,
+    /// Simulation events executed (0 if the job runs no event loop).
+    pub events: u64,
+    /// Events per wall-clock second (advisory; 0 when unmeasurable).
+    pub events_per_sec: u64,
+    /// All deterministic counters, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl PerfBlock {
+    /// Builds the perf row for one successful unit.
+    pub fn from_result(r: &JobResult) -> Option<PerfBlock> {
+        let snap = r.metrics.as_ref()?;
+        let counters = snap.deterministic();
+        let events = counters.get("sim.events.executed").copied().unwrap_or(0);
+        let wall_ms = r.wall.as_millis() as u64;
+        let events_per_sec = if r.wall.as_secs_f64() > 0.0 {
+            (events as f64 / r.wall.as_secs_f64()) as u64
+        } else {
+            0
+        };
+        Some(PerfBlock {
+            wall_ms,
+            events,
+            events_per_sec,
+            counters,
+        })
+    }
+}
 
 /// One work unit's row in the manifest.
 #[derive(Debug, Clone, Serialize)]
@@ -28,6 +68,8 @@ pub struct ManifestJob {
     pub artifact: Option<String>,
     /// FNV-1a fingerprint of the JSON artifact bytes, when produced.
     pub json_hash: Option<String>,
+    /// Performance summary, when the unit succeeded (schema ≥ 2).
+    pub perf: Option<PerfBlock>,
 }
 
 /// The `manifest.json` document written next to the artifacts.
@@ -81,11 +123,12 @@ impl Manifest {
                     wall_ms: r.wall.as_millis() as u64,
                     artifact,
                     json_hash,
+                    perf: PerfBlock::from_result(r),
                 }
             })
             .collect();
         Manifest {
-            schema: 1,
+            schema: 2,
             base_seed: cfg.base_seed,
             fidelity: cfg.fidelity.name().to_string(),
             workers: cfg.workers,
@@ -115,17 +158,20 @@ mod tests {
         reg.register(FnJob::new("bad_job", "test", |_| Err("boom".into())).with_retry_budget(0));
         let report = crate::run(&reg, &RunConfig::new(5), &mut |_| {});
         let m = &report.manifest;
-        assert_eq!(m.schema, 1);
+        assert_eq!(m.schema, 2);
         assert_eq!(m.base_seed, 5);
         assert_eq!(m.jobs.len(), 2);
         let ok = &m.jobs[0];
         assert_eq!(ok.status, "ok");
         assert_eq!(ok.artifact.as_deref(), Some("ok_job.json"));
         assert_eq!(ok.json_hash.as_deref().map(|h| h.len()), Some(16));
+        let perf = ok.perf.as_ref().expect("successful units carry perf");
+        assert_eq!(perf.events, 0, "FnJob runs no event loop");
         let bad = &m.jobs[1];
         assert_eq!(bad.status, "failed");
         assert_eq!(bad.error.as_deref(), Some("boom"));
         assert!(bad.artifact.is_none());
+        assert!(bad.perf.is_none());
         let json = m.to_json();
         assert!(json.contains("\"base_seed\": 5"));
     }

@@ -211,7 +211,12 @@ pub struct VideoStudy {
 
 impl VideoStudy {
     /// Finds a row.
-    pub fn row(&self, res: &str, scene: &str, tech: &str) -> Option<&(String, String, String, f64, f64, usize, f64)> {
+    pub fn row(
+        &self,
+        res: &str,
+        scene: &str,
+        tech: &str,
+    ) -> Option<&(String, String, String, f64, f64, usize, f64)> {
         self.rows
             .iter()
             .find(|(r, s, t, ..)| r == res && s == scene && t == tech)
@@ -236,7 +241,15 @@ impl VideoStudy {
             .collect();
         let mut s = report::table(
             "Fig. 18/20: video sessions",
-            &["res", "scene", "tech", "offered", "received", "freezes", "frame delay ms"],
+            &[
+                "res",
+                "scene",
+                "tech",
+                "offered",
+                "received",
+                "freezes",
+                "frame delay ms",
+            ],
             &rows,
         );
         if let Some(r) = self.row("4K", "static", "5G") {

@@ -30,17 +30,47 @@ impl Table1 {
     /// Renders the table with the paper's values alongside.
     pub fn to_text(&self) -> String {
         let mut s = String::from("== Table 1: basic physical info ==\n");
-        s += &report::compare("4G cells", crate::calib::PAPER_NUM_CELLS_4G as f64, self.cells_4g as f64, "");
+        s += &report::compare(
+            "4G cells",
+            crate::calib::PAPER_NUM_CELLS_4G as f64,
+            self.cells_4g as f64,
+            "",
+        );
         s.push('\n');
-        s += &report::compare("5G cells", crate::calib::PAPER_NUM_CELLS_5G as f64, self.cells_5g as f64, "");
+        s += &report::compare(
+            "5G cells",
+            crate::calib::PAPER_NUM_CELLS_5G as f64,
+            self.cells_5g as f64,
+            "",
+        );
         s.push('\n');
-        s += &report::compare("4G mean RSRP", crate::calib::PAPER_MEAN_RSRP_4G, self.rsrp_4g.0, "dBm");
+        s += &report::compare(
+            "4G mean RSRP",
+            crate::calib::PAPER_MEAN_RSRP_4G,
+            self.rsrp_4g.0,
+            "dBm",
+        );
         s.push('\n');
-        s += &report::compare("4G RSRP std", crate::calib::PAPER_STD_RSRP_4G, self.rsrp_4g.1, "dB");
+        s += &report::compare(
+            "4G RSRP std",
+            crate::calib::PAPER_STD_RSRP_4G,
+            self.rsrp_4g.1,
+            "dB",
+        );
         s.push('\n');
-        s += &report::compare("5G mean RSRP", crate::calib::PAPER_MEAN_RSRP_5G, self.rsrp_5g.0, "dBm");
+        s += &report::compare(
+            "5G mean RSRP",
+            crate::calib::PAPER_MEAN_RSRP_5G,
+            self.rsrp_5g.0,
+            "dBm",
+        );
         s.push('\n');
-        s += &report::compare("5G RSRP std", crate::calib::PAPER_STD_RSRP_5G, self.rsrp_5g.1, "dB");
+        s += &report::compare(
+            "5G RSRP std",
+            crate::calib::PAPER_STD_RSRP_5G,
+            self.rsrp_5g.1,
+            "dB",
+        );
         s.push('\n');
         s
     }
@@ -101,8 +131,16 @@ impl Table2 {
             .map(|i| {
                 vec![
                     labels[i].to_owned(),
-                    format!("{:.2}% ({:.2}%)", self.frac_4g[i] * 100.0, crate::calib::PAPER_TAB2_4G[5 - i] * 100.0),
-                    format!("{:.2}% ({:.2}%)", self.frac_5g[i] * 100.0, crate::calib::PAPER_TAB2_5G[5 - i] * 100.0),
+                    format!(
+                        "{:.2}% ({:.2}%)",
+                        self.frac_4g[i] * 100.0,
+                        crate::calib::PAPER_TAB2_4G[5 - i] * 100.0
+                    ),
+                    format!(
+                        "{:.2}% ({:.2}%)",
+                        self.frac_5g[i] * 100.0,
+                        crate::calib::PAPER_TAB2_5G[5 - i] * 100.0
+                    ),
                     format!("{:.2}%", self.frac_4g_cosited[i] * 100.0),
                 ]
             })
@@ -343,17 +381,43 @@ impl Fig3 {
     /// Renders the comparison.
     pub fn to_text(&self) -> String {
         let mut s = String::from("== Fig. 3: indoor-outdoor bit-rate gap ==\n");
-        s += &report::cdf_line("5G outdoor", &Cdf::from_samples(self.outdoor_5g.clone()), "Mbps");
+        s += &report::cdf_line(
+            "5G outdoor",
+            &Cdf::from_samples(self.outdoor_5g.clone()),
+            "Mbps",
+        );
         s.push('\n');
-        s += &report::cdf_line("5G indoor ", &Cdf::from_samples(self.indoor_5g.clone()), "Mbps");
+        s += &report::cdf_line(
+            "5G indoor ",
+            &Cdf::from_samples(self.indoor_5g.clone()),
+            "Mbps",
+        );
         s.push('\n');
-        s += &report::cdf_line("4G outdoor", &Cdf::from_samples(self.outdoor_4g.clone()), "Mbps");
+        s += &report::cdf_line(
+            "4G outdoor",
+            &Cdf::from_samples(self.outdoor_4g.clone()),
+            "Mbps",
+        );
         s.push('\n');
-        s += &report::cdf_line("4G indoor ", &Cdf::from_samples(self.indoor_4g.clone()), "Mbps");
+        s += &report::cdf_line(
+            "4G indoor ",
+            &Cdf::from_samples(self.indoor_4g.clone()),
+            "Mbps",
+        );
         s.push('\n');
-        s += &report::compare("5G indoor drop", crate::calib::PAPER_INDOOR_DROP_5G * 100.0, self.drop_5g() * 100.0, "%");
+        s += &report::compare(
+            "5G indoor drop",
+            crate::calib::PAPER_INDOOR_DROP_5G * 100.0,
+            self.drop_5g() * 100.0,
+            "%",
+        );
         s.push('\n');
-        s += &report::compare("4G indoor drop", crate::calib::PAPER_INDOOR_DROP_4G * 100.0, self.drop_4g() * 100.0, "%");
+        s += &report::compare(
+            "4G indoor drop",
+            crate::calib::PAPER_INDOOR_DROP_4G * 100.0,
+            self.drop_4g() * 100.0,
+            "%",
+        );
         s.push('\n');
         s
     }
@@ -434,8 +498,16 @@ mod tests {
         let t = table1(&sc());
         assert_eq!(t.cells_4g, 34);
         assert_eq!(t.cells_5g, 13);
-        assert!((t.rsrp_4g.0 - crate::calib::PAPER_MEAN_RSRP_4G).abs() < 4.0, "{:?}", t.rsrp_4g);
-        assert!((t.rsrp_5g.0 - crate::calib::PAPER_MEAN_RSRP_5G).abs() < 6.0, "{:?}", t.rsrp_5g);
+        assert!(
+            (t.rsrp_4g.0 - crate::calib::PAPER_MEAN_RSRP_4G).abs() < 4.0,
+            "{:?}",
+            t.rsrp_4g
+        );
+        assert!(
+            (t.rsrp_5g.0 - crate::calib::PAPER_MEAN_RSRP_5G).abs() < 6.0,
+            "{:?}",
+            t.rsrp_5g
+        );
         assert!(!t.to_text().is_empty());
     }
 
@@ -458,7 +530,11 @@ mod tests {
     fn fig2a_has_holes_and_renders() {
         let f = fig2a(&sc(), 25.0);
         assert!(f.points.len() > 200);
-        assert!(f.hole_fraction > 0.01 && f.hole_fraction < 0.30, "{}", f.hole_fraction);
+        assert!(
+            f.hole_fraction > 0.01 && f.hole_fraction < 0.30,
+            "{}",
+            f.hole_fraction
+        );
         let txt = f.to_text();
         assert!(txt.contains("legend"));
     }

@@ -46,7 +46,12 @@ impl CpeStudy {
             "Mbps",
         );
         s.push('\n');
-        s += &report::compare("favourable-spot CPE rate", 650.0, self.favorable_mbps, "Mbps");
+        s += &report::compare(
+            "favourable-spot CPE rate",
+            650.0,
+            self.favorable_mbps,
+            "Mbps",
+        );
         s.push('\n');
         s += &report::compare(
             "per-house share (50 homes)",
@@ -57,7 +62,11 @@ impl CpeStudy {
         s.push('\n');
         s += &format!(
             "5G {} the {} Mbps DSL baseline\n",
-            if self.beats_dsl() { "beats" } else { "loses to" },
+            if self.beats_dsl() {
+                "beats"
+            } else {
+                "loses to"
+            },
             DSL_BASELINE_MBPS
         );
         s
@@ -118,7 +127,11 @@ mod tests {
     fn cpe_beats_dsl_like_the_paper() {
         let sc = Scenario::paper(2020);
         let study = cpe_study(&sc);
-        assert!(study.home_rates_mbps.len() >= 10, "{} homes", study.home_rates_mbps.len());
+        assert!(
+            study.home_rates_mbps.len() >= 10,
+            "{} homes",
+            study.home_rates_mbps.len()
+        );
         // Favourable spots reach hundreds of Mbps.
         assert!(
             (300.0..1300.0).contains(&study.favorable_mbps),

@@ -307,8 +307,16 @@ mod tests {
     #[test]
     fn fig23_tails_match_paper() {
         let f = fig23();
-        assert!((9.0..13.0).contains(&f.tail_4g_s), "4G tail {}", f.tail_4g_s);
-        assert!((19.0..24.0).contains(&f.tail_5g_s), "5G tail {}", f.tail_5g_s);
+        assert!(
+            (9.0..13.0).contains(&f.tail_4g_s),
+            "4G tail {}",
+            f.tail_4g_s
+        );
+        assert!(
+            (19.0..24.0).contains(&f.tail_5g_s),
+            "5G tail {}",
+            f.tail_5g_s
+        );
         let ratio = f.energy_j.1 / f.energy_j.0;
         assert!((1.2..3.2).contains(&ratio), "energy ratio {ratio}");
         assert!(!f.trace_5g.is_empty() && !f.trace_4g.is_empty());

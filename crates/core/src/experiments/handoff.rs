@@ -6,7 +6,7 @@ use fiveg_geo::mobility::{LinearTransect, RandomWaypoint};
 use fiveg_net::path::{Direction, PaperPathParams, PathConfig};
 use fiveg_net::{NetSim, RateModel};
 use fiveg_phy::Tech;
-use fiveg_ran::{HandoffCampaign, HandoffKind, HandoffRecord, HandoffProcedure};
+use fiveg_ran::{HandoffCampaign, HandoffKind, HandoffProcedure, HandoffRecord};
 use fiveg_simcore::{BitRate, Cdf, SimDuration, SimTime};
 use fiveg_transport::{CcAlgorithm, TcpSender};
 use serde::{Deserialize, Serialize};
@@ -116,8 +116,7 @@ impl HandoffStudy {
 
     /// Fraction of hand-offs of `kind` gaining more than 3 dB.
     pub fn gain3db_fraction(&self, kind: HandoffKind) -> f64 {
-        let v: Vec<&HandoffRecord> =
-            self.records.iter().filter(|r| r.kind == kind).collect();
+        let v: Vec<&HandoffRecord> = self.records.iter().filter(|r| r.kind == kind).collect();
         if v.is_empty() {
             return f64::NAN;
         }
@@ -206,11 +205,26 @@ impl Fig12 {
             s += &report::cdf_line(label, &Cdf::from_samples(v.clone()), "frac");
             s.push('\n');
         }
-        s += &report::compare("4G-4G mean drop", crate::calib::PAPER_HO_TPUT_DROP_4G4G, self.mean_drop("4G-4G"), "");
+        s += &report::compare(
+            "4G-4G mean drop",
+            crate::calib::PAPER_HO_TPUT_DROP_4G4G,
+            self.mean_drop("4G-4G"),
+            "",
+        );
         s.push('\n');
-        s += &report::compare("5G-5G mean drop", crate::calib::PAPER_HO_TPUT_DROP_5G5G, self.mean_drop("5G-5G"), "");
+        s += &report::compare(
+            "5G-5G mean drop",
+            crate::calib::PAPER_HO_TPUT_DROP_5G5G,
+            self.mean_drop("5G-5G"),
+            "",
+        );
         s.push('\n');
-        s += &report::compare("5G-4G mean drop", crate::calib::PAPER_HO_TPUT_DROP_5G4G, self.mean_drop("5G-4G"), "");
+        s += &report::compare(
+            "5G-4G mean drop",
+            crate::calib::PAPER_HO_TPUT_DROP_5G4G,
+            self.mean_drop("5G-4G"),
+            "",
+        );
         s.push('\n');
         s
     }
@@ -245,7 +259,7 @@ fn ho_drop_sample(kind: HandoffKind, seed: u64, sc: &Scenario) -> f64 {
         (ho_at, BitRate::ZERO),
         (ho_at + latency, BitRate::from_mbps(post_rate)),
     ]);
-    let mut sim = NetSim::new(path, seed ^ 0xf19_12);
+    let mut sim = NetSim::new(path, seed ^ 0x000f_1912);
     let (sender, _rep) = TcpSender::new(CcAlgorithm::Bbr, None);
     let flow = sim.add_flow(Box::new(sender), true, false);
     sim.run_until(SimTime::from_secs(8));

@@ -22,11 +22,7 @@ impl Fig13 {
 
     /// Mean RTT gap (4G − 5G), ms.
     pub fn mean_gap(&self) -> f64 {
-        self.pairs
-            .iter()
-            .map(|&(_, r4, r5)| r4 - r5)
-            .sum::<f64>()
-            / self.pairs.len().max(1) as f64
+        self.pairs.iter().map(|&(_, r4, r5)| r4 - r5).sum::<f64>() / self.pairs.len().max(1) as f64
     }
 
     /// Renders the figure.
@@ -42,7 +38,12 @@ impl Fig13 {
             "ms",
         );
         s.push('\n');
-        s += &report::compare("RTT gap 4G-5G", crate::calib::PAPER_RTT_GAP_MS, self.mean_gap(), "ms");
+        s += &report::compare(
+            "RTT gap 4G-5G",
+            crate::calib::PAPER_RTT_GAP_MS,
+            self.mean_gap(),
+            "ms",
+        );
         s.push('\n');
         s
     }
@@ -61,7 +62,11 @@ pub fn fig13(fidelity: Fidelity, seed: u64) -> Fig13 {
     let mut pairs = Vec::new();
     for s in &PAPER_SERVERS {
         for _ in 0..repeats {
-            pairs.push((s.id, lte.sample_rtt_ms(s, &mut rng), nr.sample_rtt_ms(s, &mut rng)));
+            pairs.push((
+                s.id,
+                lte.sample_rtt_ms(s, &mut rng),
+                nr.sample_rtt_ms(s, &mut rng),
+            ));
         }
     }
     Fig13 { pairs }

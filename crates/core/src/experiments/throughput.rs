@@ -71,23 +71,33 @@ impl Fig7 {
             &["tech", "protocol", "Mbps", "util"],
             &rows,
         );
-        s += &report::compare("5G Cubic util", crate::calib::PAPER_UTIL_5G[1], self.util("5G", "Cubic"), "");
+        s += &report::compare(
+            "5G Cubic util",
+            crate::calib::PAPER_UTIL_5G[1],
+            self.util("5G", "Cubic"),
+            "",
+        );
         s.push('\n');
-        s += &report::compare("5G BBR util", crate::calib::PAPER_UTIL_5G[4], self.util("5G", "BBR"), "");
+        s += &report::compare(
+            "5G BBR util",
+            crate::calib::PAPER_UTIL_5G[4],
+            self.util("5G", "BBR"),
+            "",
+        );
         s.push('\n');
-        s += &report::compare("4G Cubic util", crate::calib::PAPER_UTIL_4G_CUBIC, self.util("4G", "Cubic"), "");
+        s += &report::compare(
+            "4G Cubic util",
+            crate::calib::PAPER_UTIL_4G_CUBIC,
+            self.util("4G", "Cubic"),
+            "",
+        );
         s.push('\n');
         s
     }
 }
 
 /// Runs a TCP bulk flow over a paper path; returns goodput in Mbps.
-pub fn tcp_goodput(
-    params: &PaperPathParams,
-    alg: CcAlgorithm,
-    secs: u64,
-    seed: u64,
-) -> f64 {
+pub fn tcp_goodput(params: &PaperPathParams, alg: CcAlgorithm, secs: u64, seed: u64) -> f64 {
     let path = PathConfig::paper(params, Direction::Downlink);
     let cross = path.paper_cross_traffic();
     let mut sim = NetSim::new(path, seed);
@@ -365,7 +375,8 @@ pub fn fig11(fidelity: Fidelity, seed: u64) -> Fig11 {
     let p = PaperPathParams::nr_day();
     let mut path = PathConfig::paper(&p, Direction::Downlink);
     let mut fade_rng = SimRng::new(seed ^ 0xf1611);
-    let mut points: Vec<(SimTime, BitRate)> = vec![(SimTime::ZERO, BitRate::from_mbps(p.radio_rate_mbps))];
+    let mut points: Vec<(SimTime, BitRate)> =
+        vec![(SimTime::ZERO, BitRate::from_mbps(p.radio_rate_mbps))];
     let mut t_ms = 0.0;
     loop {
         // A fade every ~2 s, dropping the link to ~10–15 % of the
@@ -376,7 +387,10 @@ pub fn fig11(fidelity: Fidelity, seed: u64) -> Fig11 {
         }
         let dip = p.radio_rate_mbps * fade_rng.range_f64(0.10, 0.15);
         let dur = fade_rng.range_f64(80.0, 120.0);
-        points.push((SimTime::ZERO + SimDuration::from_secs_f64(t_ms / 1e3), BitRate::from_mbps(dip)));
+        points.push((
+            SimTime::ZERO + SimDuration::from_secs_f64(t_ms / 1e3),
+            BitRate::from_mbps(dip),
+        ));
         points.push((
             SimTime::ZERO + SimDuration::from_secs_f64((t_ms + dur) / 1e3),
             BitRate::from_mbps(p.radio_rate_mbps),
@@ -430,15 +444,39 @@ impl Table3 {
         let rows = vec![
             vec![
                 "4G".to_owned(),
-                format!("{:.0} ({:.0})", self.est_4g.ran_pkts, crate::calib::PAPER_TAB3_4G[0]),
-                format!("{:.0} ({:.0})", self.est_4g.wired_pkts, crate::calib::PAPER_TAB3_4G[1]),
-                format!("{:.0} ({:.0})", self.est_4g.whole_path_pkts, crate::calib::PAPER_TAB3_4G[2]),
+                format!(
+                    "{:.0} ({:.0})",
+                    self.est_4g.ran_pkts,
+                    crate::calib::PAPER_TAB3_4G[0]
+                ),
+                format!(
+                    "{:.0} ({:.0})",
+                    self.est_4g.wired_pkts,
+                    crate::calib::PAPER_TAB3_4G[1]
+                ),
+                format!(
+                    "{:.0} ({:.0})",
+                    self.est_4g.whole_path_pkts,
+                    crate::calib::PAPER_TAB3_4G[2]
+                ),
             ],
             vec![
                 "5G".to_owned(),
-                format!("{:.0} ({:.0})", self.est_5g.ran_pkts, crate::calib::PAPER_TAB3_5G[0]),
-                format!("{:.0} ({:.0})", self.est_5g.wired_pkts, crate::calib::PAPER_TAB3_5G[1]),
-                format!("{:.0} ({:.0})", self.est_5g.whole_path_pkts, crate::calib::PAPER_TAB3_5G[2]),
+                format!(
+                    "{:.0} ({:.0})",
+                    self.est_5g.ran_pkts,
+                    crate::calib::PAPER_TAB3_5G[0]
+                ),
+                format!(
+                    "{:.0} ({:.0})",
+                    self.est_5g.wired_pkts,
+                    crate::calib::PAPER_TAB3_5G[1]
+                ),
+                format!(
+                    "{:.0} ({:.0})",
+                    self.est_5g.whole_path_pkts,
+                    crate::calib::PAPER_TAB3_5G[2]
+                ),
             ],
         ];
         let mut s = report::table(
@@ -474,7 +512,12 @@ pub fn table3(fidelity: Fidelity, seed: u64) -> Table3 {
         let zero = SimDuration::ZERO;
         BufferEstimate {
             ran_pkts: estimate_buffer_pkts(zero, ran_delay, paper_capacity(), PAPER_PROBE_BYTES),
-            wired_pkts: estimate_buffer_pkts(zero, wired_delay, paper_capacity(), PAPER_PROBE_BYTES),
+            wired_pkts: estimate_buffer_pkts(
+                zero,
+                wired_delay,
+                paper_capacity(),
+                PAPER_PROBE_BYTES,
+            ),
             whole_path_pkts: estimate_buffer_pkts(
                 zero,
                 ran_delay + wired_delay,
@@ -504,8 +547,16 @@ mod tests {
                 .map(|&(_, m)| m)
                 .unwrap()
         };
-        assert!((700.0..950.0).contains(&udp("5G DL day")), "{}", udp("5G DL day"));
-        assert!((100.0..160.0).contains(&udp("4G DL day")), "{}", udp("4G DL day"));
+        assert!(
+            (700.0..950.0).contains(&udp("5G DL day")),
+            "{}",
+            udp("5G DL day")
+        );
+        assert!(
+            (100.0..160.0).contains(&udp("4G DL day")),
+            "{}",
+            udp("4G DL day")
+        );
         // The anomaly: loss-based low on 5G, BBR high, 4G healthy.
         assert!(f.util("5G", "Cubic") < 0.55, "{}", f.util("5G", "Cubic"));
         assert!(f.util("5G", "BBR") > 0.6, "{}", f.util("5G", "BBR"));
@@ -520,13 +571,20 @@ mod tests {
         assert!(!f.cubic.is_empty() && !f.bbr.is_empty());
         // BBR's late-run cwnd stays near its peak; Cubic's collapses.
         let late_mean = |v: &[(f64, f64)]| {
-            let tail: Vec<f64> = v.iter().filter(|&&(t, _)| t > 3.0).map(|&(_, w)| w).collect();
+            let tail: Vec<f64> = v
+                .iter()
+                .filter(|&&(t, _)| t > 3.0)
+                .map(|&(_, w)| w)
+                .collect();
             tail.iter().sum::<f64>() / tail.len().max(1) as f64
         };
         let peak = |v: &[(f64, f64)]| v.iter().map(|&(_, w)| w).fold(0.0, f64::max);
         let cubic_ratio = late_mean(&f.cubic) / peak(&f.cubic);
         let bbr_ratio = late_mean(&f.bbr) / peak(&f.bbr);
-        assert!(bbr_ratio > cubic_ratio, "bbr {bbr_ratio} vs cubic {cubic_ratio}");
+        assert!(
+            bbr_ratio > cubic_ratio,
+            "bbr {bbr_ratio} vs cubic {cubic_ratio}"
+        );
     }
 
     #[test]
@@ -550,9 +608,7 @@ mod tests {
         let f = fig10(5, 20_000);
         assert!(Fig10::max_attempts(&f.attempts_4g) <= 5);
         assert!(Fig10::max_attempts(&f.attempts_5g) <= 3);
-        assert!(
-            Fig10::max_attempts(&f.attempts_5g) <= Fig10::max_attempts(&f.attempts_4g)
-        );
+        assert!(Fig10::max_attempts(&f.attempts_5g) <= Fig10::max_attempts(&f.attempts_4g));
         assert!(f.attempts_5g[0] > 0.9, "5G first-try {}", f.attempts_5g[0]);
     }
 

@@ -25,6 +25,6 @@ pub mod profile;
 pub mod sched;
 
 pub use machine::{Burst, EnergyTrace, RadioStateMachine};
-pub use params::{ComponentPower, DrxParams, RadioPower, RadioModel};
+pub use params::{ComponentPower, DrxParams, RadioModel, RadioPower};
 pub use profile::{app_session_breakdown, energy_per_bit, AppKind, PowerBreakdown};
 pub use sched::{replay_energy, Strategy, TrafficTrace};

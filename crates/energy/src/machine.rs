@@ -114,11 +114,12 @@ impl RadioStateMachine {
         let mut first = true;
         for b in bursts {
             let arrival = b.at;
-            let need_promotion = self.overheads && (first || {
-                // The radio fell back to idle if the tail expired before
-                // this arrival and no transfer is pending.
-                arrival > connected_until && arrival >= busy_until
-            });
+            let need_promotion = self.overheads
+                && (first || {
+                    // The radio fell back to idle if the tail expired before
+                    // this arrival and no transfer is pending.
+                    arrival > connected_until && arrival >= busy_until
+                });
             let mut start = arrival.max(busy_until);
             if need_promotion {
                 let promo = drx.total_promotion();
@@ -183,7 +184,18 @@ impl RadioStateMachine {
             if state == RadioState::Active {
                 active_time += e.since(s);
             }
+            // Dwell times are virtual (simulation-clock) nanoseconds, so
+            // they are deterministic per seed despite being "time".
+            let label = match state {
+                RadioState::Idle => "energy.dwell_ns.idle",
+                RadioState::Promotion => "energy.dwell_ns.promotion",
+                RadioState::Active => "energy.dwell_ns.active",
+                RadioState::Inactive => "energy.dwell_ns.inactive",
+                RadioState::Tail => "energy.dwell_ns.tail",
+            };
+            fiveg_obs::counter_add(label, e.since(s).as_nanos());
         }
+        fiveg_obs::counter_add("energy.transitions", enriched.len() as u64);
         let mut series = TimeSeries::new();
         let step = SimDuration::from_millis(100);
         let mut t = SimTime::ZERO;
@@ -284,7 +296,10 @@ mod tests {
         assert!(e_oracle < e_real);
         // Oracle energy ≈ transfer time × active power.
         let expect = 50_000_000.0 * 8.0 / 880e6 * 2.9;
-        assert!((e_oracle - expect).abs() / expect < 0.05, "{e_oracle} vs {expect}");
+        assert!(
+            (e_oracle - expect).abs() / expect < 0.05,
+            "{e_oracle} vs {expect}"
+        );
     }
 
     #[test]
@@ -303,7 +318,9 @@ mod tests {
         // Fig. 23: web loads every 3 s produce jagged power (active
         // spikes over a tail plateau).
         let m = RadioStateMachine::new(RadioModel::nr_nsa_day());
-        let bursts: Vec<Burst> = (0..10).map(|i| burst(10_000 + i * 3_000, 2_000_000)).collect();
+        let bursts: Vec<Burst> = (0..10)
+            .map(|i| burst(10_000 + i * 3_000, 2_000_000))
+            .collect();
         let tr = m.replay(&bursts);
         let v = tr.series.values();
         let max = v.iter().cloned().fold(f64::MIN, f64::max);

@@ -160,7 +160,9 @@ pub fn energy_per_bit(radio: &RadioModel, secs: f64) -> f64 {
 
 /// Convenience: run the transfer-duration sweep of Fig. 22.
 pub fn energy_per_bit_sweep(radio: &RadioModel, secs: &[f64]) -> Vec<(f64, f64)> {
-    secs.iter().map(|&s| (s, energy_per_bit(radio, s))).collect()
+    secs.iter()
+        .map(|&s| (s, energy_per_bit(radio, s)))
+        .collect()
 }
 
 /// Unused placeholder to keep the duration import exercised in docs.
@@ -232,7 +234,9 @@ mod tests {
     #[test]
     fn breakdown_components_sum() {
         let b = app_session_breakdown(AppKind::Game, &RadioModel::lte_day(), 30);
-        let sum = b.system.milliwatts() + b.screen.milliwatts() + b.app.milliwatts()
+        let sum = b.system.milliwatts()
+            + b.screen.milliwatts()
+            + b.app.milliwatts()
             + b.radio.milliwatts();
         assert!((b.total().milliwatts() - sum).abs() < 1e-9);
         assert!(b.radio_share() > 0.0 && b.radio_share() < 1.0);

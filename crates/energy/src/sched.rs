@@ -214,7 +214,10 @@ mod tests {
     fn heavy_workloads_favor_5g_over_lte() {
         // Tab. 4: for video and file the LTE row is the *most*
         // expensive — 5G's energy-per-bit advantage wins at scale.
-        for tr in [TrafficTrace::video_telephony(), TrafficTrace::file_transfer()] {
+        for tr in [
+            TrafficTrace::video_telephony(),
+            TrafficTrace::file_transfer(),
+        ] {
             let lte = energy(&tr, Strategy::LteOnly);
             let nsa = energy(&tr, Strategy::NrNsa);
             assert!(lte > nsa, "{}: LTE {lte} vs NSA {nsa}", tr.name);
@@ -230,7 +233,10 @@ mod tests {
         let nsa = energy(&tr, Strategy::NrNsa);
         let oracle = energy(&tr, Strategy::NrOracle);
         let saving = 1.0 - oracle / nsa;
-        assert!((0.03..0.30).contains(&saving), "file oracle saving {saving}");
+        assert!(
+            (0.03..0.30).contains(&saving),
+            "file oracle saving {saving}"
+        );
     }
 
     #[test]

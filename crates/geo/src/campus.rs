@@ -220,20 +220,14 @@ impl Campus {
         for &(fx, fy) in gnb_frac.iter().take(cfg.num_gnb_sites) {
             let x = fx * w + rng.range_f64(-0.04, 0.04) * w;
             let y = fy * h + rng.range_f64(-0.03, 0.03) * h;
-            positions.push(Point::new(
-                x.clamp(10.0, w - 10.0),
-                y.clamp(10.0, h - 10.0),
-            ));
+            positions.push(Point::new(x.clamp(10.0, w - 10.0), y.clamp(10.0, h - 10.0)));
         }
         let mut k = 0usize;
         while positions.len() < n {
             let (fx, fy) = extra_frac[k % extra_frac.len()];
             let x = fx * w + rng.range_f64(-0.06, 0.06) * w;
             let y = fy * h + rng.range_f64(-0.04, 0.04) * h;
-            positions.push(Point::new(
-                x.clamp(10.0, w - 10.0),
-                y.clamp(10.0, h - 10.0),
-            ));
+            positions.push(Point::new(x.clamp(10.0, w - 10.0), y.clamp(10.0, h - 10.0)));
             k += 1;
         }
         // Sector layout for eNBs: enough 3-sector sites to reach 34 cells

@@ -21,10 +21,7 @@ impl Road {
 
     /// Total centreline length, metres.
     pub fn length(&self) -> f64 {
-        self.waypoints
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum()
+        self.waypoints.windows(2).map(|w| w[0].distance(w[1])).sum()
     }
 
     /// Position at arc-length `s` from the start (clamped to the ends).
@@ -36,7 +33,11 @@ impl Road {
         for w in self.waypoints.windows(2) {
             let seg_len = w[0].distance(w[1]);
             if remaining <= seg_len {
-                let t = if seg_len > 0.0 { remaining / seg_len } else { 0.0 };
+                let t = if seg_len > 0.0 {
+                    remaining / seg_len
+                } else {
+                    0.0
+                };
                 return w[0].lerp(w[1], t);
             }
             remaining -= seg_len;

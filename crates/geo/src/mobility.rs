@@ -137,7 +137,11 @@ impl LinearTransect {
         let mut s = 0.0;
         let mut t = SimTime::ZERO;
         loop {
-            let frac = if total > 0.0 { (s / total).min(1.0) } else { 1.0 };
+            let frac = if total > 0.0 {
+                (s / total).min(1.0)
+            } else {
+                1.0
+            };
             points.push(TracePoint {
                 t,
                 pos: self.from.lerp(self.to, frac),
@@ -305,8 +309,14 @@ mod tests {
         let a = rwp.generate(&m, &mut SimRng::new(7));
         let b = rwp.generate(&m, &mut SimRng::new(7));
         assert_eq!(a.len(), b.len());
-        assert_eq!(a.points.first().map(|p| p.pos), b.points.first().map(|p| p.pos));
-        assert_eq!(a.points.last().map(|p| p.pos), b.points.last().map(|p| p.pos));
+        assert_eq!(
+            a.points.first().map(|p| p.pos),
+            b.points.first().map(|p| p.pos)
+        );
+        assert_eq!(
+            a.points.last().map(|p| p.pos),
+            b.points.last().map(|p| p.pos)
+        );
     }
 
     #[test]

@@ -209,10 +209,7 @@ impl Rect {
         {
             return 0;
         }
-        self.edges()
-            .iter()
-            .filter(|e| e.intersects(seg))
-            .count()
+        self.edges().iter().filter(|e| e.intersects(seg)).count()
     }
 
     /// Whether the segment passes through (or touches) the rectangle.

@@ -171,8 +171,8 @@ impl PathConfig {
             Direction::Downlink => vec![server, metro, core, radio],
             Direction::Uplink => vec![radio, core, metro, server],
         };
-        let reverse_delay: SimDuration = hops.iter().map(|h| h.prop_delay).sum::<SimDuration>()
-            + SimDuration::from_micros(500);
+        let reverse_delay: SimDuration =
+            hops.iter().map(|h| h.prop_delay).sum::<SimDuration>() + SimDuration::from_micros(500);
         PathConfig {
             hops,
             reverse_delay,

@@ -50,10 +50,7 @@ impl RateModel {
     pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
         match self {
             RateModel::Fixed(_) => None,
-            RateModel::Piecewise(points) => points
-                .iter()
-                .map(|&(pt, _)| pt)
-                .find(|&pt| pt > t),
+            RateModel::Piecewise(points) => points.iter().map(|&(pt, _)| pt).find(|&pt| pt > t),
         }
     }
 

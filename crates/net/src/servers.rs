@@ -22,26 +22,166 @@ pub struct Server {
 
 /// The paper's Tab. 6, verbatim.
 pub const PAPER_SERVERS: [Server; 20] = [
-    Server { id: 5145, name: "Beijing Unicom", city: "Beijing", lat: 39.9289, lon: 116.3883, distance_km: 1.67 },
-    Server { id: 27154, name: "China Unicom 5G", city: "Tianjin", lat: 39.1422, lon: 117.1767, distance_km: 111.65 },
-    Server { id: 5039, name: "China Unicom Jinan Branch", city: "Jinan", lat: 36.6683, lon: 116.9972, distance_km: 366.42 },
-    Server { id: 25728, name: "China Mobile Liaoning Branch Dalian", city: "Dalian", lat: 38.9128, lon: 121.4989, distance_km: 462.77 },
-    Server { id: 27100, name: "Shandong CMCC 5G", city: "Qingdao", lat: 36.1748, lon: 120.4284, distance_km: 553.80 },
-    Server { id: 5396, name: "China Telecom Jiangsu 5G", city: "Suzhou", lat: 31.3566, lon: 120.4682, distance_km: 638.00 },
-    Server { id: 16375, name: "China Mobile Jilin", city: "Changchun", lat: 43.7914, lon: 125.4784, distance_km: 859.32 },
-    Server { id: 5724, name: "China Unicom", city: "Hefei", lat: 31.8639, lon: 117.2808, distance_km: 900.06 },
-    Server { id: 5485, name: "China Unicom Hubei Branch", city: "Wuhan", lat: 30.5801, lon: 114.2734, distance_km: 1056.52 },
-    Server { id: 4690, name: "China Unicom Lanzhou Branch Co.Ltd", city: "Lanzhou", lat: 36.0564, lon: 103.7922, distance_km: 1183.99 },
-    Server { id: 6715, name: "China Mobile Zhejiang 5G", city: "Ningbo", lat: 29.8573, lon: 121.6323, distance_km: 1213.23 },
-    Server { id: 4870, name: "Changsha Hunan Unicom Server1", city: "Changsha", lat: 28.1792, lon: 113.1136, distance_km: 1341.73 },
-    Server { id: 5530, name: "CCN", city: "Chongqing", lat: 29.5628, lon: 106.5528, distance_km: 1459.16 },
-    Server { id: 4884, name: "China Unicom Fujian", city: "Fuzhou", lat: 26.0614, lon: 119.3061, distance_km: 1563.93 },
-    Server { id: 16398, name: "China Mobile Guizhou", city: "Guiyang", lat: 26.6639, lon: 106.6779, distance_km: 1730.12 },
-    Server { id: 26678, name: "Guangzhou Unicom 5G", city: "Guangzhou", lat: 23.1167, lon: 113.25, distance_km: 1890.52 },
-    Server { id: 5674, name: "GX Unicom", city: "Nanning", lat: 22.8167, lon: 108.3167, distance_km: 2048.98 },
-    Server { id: 16503, name: "China Mobile Hainan", city: "Haikou", lat: 19.9111, lon: 110.3301, distance_km: 2285.12 },
-    Server { id: 27575, name: "Xinjiang Telecom Cloud", city: "Urumqi", lat: 43.801, lon: 87.6005, distance_km: 2404.01 },
-    Server { id: 17245, name: "China Mobile Group Xinjiang", city: "Kashi", lat: 39.4694, lon: 76.0739, distance_km: 3426.37 },
+    Server {
+        id: 5145,
+        name: "Beijing Unicom",
+        city: "Beijing",
+        lat: 39.9289,
+        lon: 116.3883,
+        distance_km: 1.67,
+    },
+    Server {
+        id: 27154,
+        name: "China Unicom 5G",
+        city: "Tianjin",
+        lat: 39.1422,
+        lon: 117.1767,
+        distance_km: 111.65,
+    },
+    Server {
+        id: 5039,
+        name: "China Unicom Jinan Branch",
+        city: "Jinan",
+        lat: 36.6683,
+        lon: 116.9972,
+        distance_km: 366.42,
+    },
+    Server {
+        id: 25728,
+        name: "China Mobile Liaoning Branch Dalian",
+        city: "Dalian",
+        lat: 38.9128,
+        lon: 121.4989,
+        distance_km: 462.77,
+    },
+    Server {
+        id: 27100,
+        name: "Shandong CMCC 5G",
+        city: "Qingdao",
+        lat: 36.1748,
+        lon: 120.4284,
+        distance_km: 553.80,
+    },
+    Server {
+        id: 5396,
+        name: "China Telecom Jiangsu 5G",
+        city: "Suzhou",
+        lat: 31.3566,
+        lon: 120.4682,
+        distance_km: 638.00,
+    },
+    Server {
+        id: 16375,
+        name: "China Mobile Jilin",
+        city: "Changchun",
+        lat: 43.7914,
+        lon: 125.4784,
+        distance_km: 859.32,
+    },
+    Server {
+        id: 5724,
+        name: "China Unicom",
+        city: "Hefei",
+        lat: 31.8639,
+        lon: 117.2808,
+        distance_km: 900.06,
+    },
+    Server {
+        id: 5485,
+        name: "China Unicom Hubei Branch",
+        city: "Wuhan",
+        lat: 30.5801,
+        lon: 114.2734,
+        distance_km: 1056.52,
+    },
+    Server {
+        id: 4690,
+        name: "China Unicom Lanzhou Branch Co.Ltd",
+        city: "Lanzhou",
+        lat: 36.0564,
+        lon: 103.7922,
+        distance_km: 1183.99,
+    },
+    Server {
+        id: 6715,
+        name: "China Mobile Zhejiang 5G",
+        city: "Ningbo",
+        lat: 29.8573,
+        lon: 121.6323,
+        distance_km: 1213.23,
+    },
+    Server {
+        id: 4870,
+        name: "Changsha Hunan Unicom Server1",
+        city: "Changsha",
+        lat: 28.1792,
+        lon: 113.1136,
+        distance_km: 1341.73,
+    },
+    Server {
+        id: 5530,
+        name: "CCN",
+        city: "Chongqing",
+        lat: 29.5628,
+        lon: 106.5528,
+        distance_km: 1459.16,
+    },
+    Server {
+        id: 4884,
+        name: "China Unicom Fujian",
+        city: "Fuzhou",
+        lat: 26.0614,
+        lon: 119.3061,
+        distance_km: 1563.93,
+    },
+    Server {
+        id: 16398,
+        name: "China Mobile Guizhou",
+        city: "Guiyang",
+        lat: 26.6639,
+        lon: 106.6779,
+        distance_km: 1730.12,
+    },
+    Server {
+        id: 26678,
+        name: "Guangzhou Unicom 5G",
+        city: "Guangzhou",
+        lat: 23.1167,
+        lon: 113.25,
+        distance_km: 1890.52,
+    },
+    Server {
+        id: 5674,
+        name: "GX Unicom",
+        city: "Nanning",
+        lat: 22.8167,
+        lon: 108.3167,
+        distance_km: 2048.98,
+    },
+    Server {
+        id: 16503,
+        name: "China Mobile Hainan",
+        city: "Haikou",
+        lat: 19.9111,
+        lon: 110.3301,
+        distance_km: 2285.12,
+    },
+    Server {
+        id: 27575,
+        name: "Xinjiang Telecom Cloud",
+        city: "Urumqi",
+        lat: 43.801,
+        lon: 87.6005,
+        distance_km: 2404.01,
+    },
+    Server {
+        id: 17245,
+        name: "China Mobile Group Xinjiang",
+        city: "Kashi",
+        lat: 39.4694,
+        lon: 76.0739,
+        distance_km: 3426.37,
+    },
 ];
 
 /// Great-circle distance between two (lat, lon) points, km (haversine).

@@ -180,12 +180,7 @@ impl FlowStats {
         self.window_bytes
             .iter()
             .enumerate()
-            .map(|(i, &b)| {
-                (
-                    SimTime::from_secs_f64(i as f64 * w),
-                    b * 8.0 / w / 1e6,
-                )
-            })
+            .map(|(i, &b)| (SimTime::from_secs_f64(i as f64 * w), b * 8.0 / w / 1e6))
             .collect()
     }
 }
@@ -198,13 +193,32 @@ struct Flow {
 
 /// Internal events.
 enum Ev {
-    Arrive { hop: usize, pkt: Packet },
-    TxDone { hop: usize },
-    RateResume { hop: usize },
-    AckArrive { flow: FlowId, ack: AckInfo },
-    Timer { flow: FlowId, kind: TimerKind, id: u64 },
-    CrossToggle { idx: usize, on: bool },
-    CrossEmit { idx: usize },
+    Arrive {
+        hop: usize,
+        pkt: Packet,
+    },
+    TxDone {
+        hop: usize,
+    },
+    RateResume {
+        hop: usize,
+    },
+    AckArrive {
+        flow: FlowId,
+        ack: AckInfo,
+    },
+    Timer {
+        flow: FlowId,
+        kind: TimerKind,
+        id: u64,
+    },
+    CrossToggle {
+        idx: usize,
+        on: bool,
+    },
+    CrossEmit {
+        idx: usize,
+    },
 }
 
 /// The network simulator.
@@ -220,6 +234,30 @@ pub struct NetSim {
     in_service: Vec<Option<Queued>>,
     /// Whether a RateResume probe is pending per hop.
     resume_pending: Vec<bool>,
+    /// Deepest reassembly (out-of-order) map seen across all flows.
+    max_reassembly: usize,
+}
+
+impl Drop for NetSim {
+    /// Flushes per-run totals into the ambient metrics scope (see
+    /// `fiveg-obs`): packets forwarded/dropped across all hops, packets
+    /// delivered to receivers, and the reassembly high-watermark. All
+    /// are deterministic functions of the simulation seed.
+    fn drop(&mut self) {
+        let forwarded: u64 = self.hops.iter().map(|h| h.stats.forwarded).sum();
+        let dropped: u64 = self.hops.iter().map(|h| h.stats.dropped()).sum();
+        let delivered: u64 = self
+            .flows
+            .iter()
+            .map(|f| f.receiver.stats.packets_received)
+            .sum();
+        if forwarded + dropped + delivered > 0 {
+            fiveg_obs::counter_add("net.packets.forwarded", forwarded);
+            fiveg_obs::counter_add("net.packets.dropped", dropped);
+            fiveg_obs::counter_add("net.packets.delivered", delivered);
+            fiveg_obs::gauge_max("net.reassembly.max_depth", self.max_reassembly as u64);
+        }
+    }
 }
 
 impl NetSim {
@@ -238,6 +276,7 @@ impl NetSim {
             next_timer_id: 0,
             in_service: (0..n).map(|_| None).collect(),
             resume_pending: vec![false; n],
+            max_reassembly: 0,
         }
     }
 
@@ -247,7 +286,12 @@ impl NetSim {
     /// (true for TCP-like senders, false for UDP). `record_seqs` logs
     /// every received sequence number (memory-heavy; used for the
     /// loss-pattern figure).
-    pub fn add_flow(&mut self, sender: Box<dyn Endpoint>, wants_acks: bool, record_seqs: bool) -> FlowId {
+    pub fn add_flow(
+        &mut self,
+        sender: Box<dyn Endpoint>,
+        wants_acks: bool,
+        record_seqs: bool,
+    ) -> FlowId {
         let id = FlowId(self.flows.len() as u32);
         self.flows.push(Flow {
             sender,
@@ -510,6 +554,7 @@ impl NetSim {
             }
             rx.ooo.insert(new_s, new_e);
             rx.ooo_total += new_e - new_s;
+            self.max_reassembly = self.max_reassembly.max(rx.ooo.len());
         }
         // Pop ranges that begin at or before `expected`.
         while let Some((&s, &e)) = rx.ooo.range(..=rx.expected).next_back() {
@@ -571,7 +616,10 @@ impl NetSim {
             };
             self.q.schedule_at(
                 now + self.reverse_delay,
-                Ev::AckArrive { flow: pkt.flow, ack },
+                Ev::AckArrive {
+                    flow: pkt.flow,
+                    ack,
+                },
             );
         }
     }
@@ -603,9 +651,7 @@ impl NetSim {
         let now = self.q.now();
         let (hop, gap) = {
             let ct = &self.cross[idx].0;
-            let gap = SimDuration::from_secs_f64(
-                ct.rate.secs_for_bits(MSS_BYTES as f64 * 8.0),
-            );
+            let gap = SimDuration::from_secs_f64(ct.rate.secs_for_bits(MSS_BYTES as f64 * 8.0));
             (ct.hop, gap)
         };
         let pkt = Packet {
@@ -777,7 +823,10 @@ mod tests {
         let t = sim
             .run_until_delivered(flow, 5 * MSS_BYTES as u64, SimTime::from_secs(1))
             .expect("delivered after outage");
-        assert!(t >= SimTime::from_millis(100), "delivered during outage: {t}");
+        assert!(
+            t >= SimTime::from_millis(100),
+            "delivered during outage: {t}"
+        );
         assert!(t < SimTime::from_millis(110));
     }
 

@@ -85,8 +85,8 @@ impl LatencyModel {
         cum.push(ran);
         let core = ran + normal(rng, self.core_rtt_ms, self.core_rtt_ms * 0.12).max(0.5);
         cum.push(core);
-        let wire_total =
-            (self.wireline_base_ms + self.per_km_ms * distance_km) * normal(rng, 1.0, 0.08).max(0.7);
+        let wire_total = (self.wireline_base_ms + self.per_km_ms * distance_km)
+            * normal(rng, 1.0, 0.08).max(0.7);
         let wire_hops = n - 2;
         // Front-load fractions: hop i of the wireline carries weight
         // proportional to i^2 so the final long-haul hops dominate.
@@ -154,7 +154,11 @@ mod tests {
                 lte.push(LatencyModel::paper(RatTech::Lte).sample_rtt_ms(s, &mut rng));
             }
         }
-        assert!((35.0..52.0).contains(&nr.mean()), "5G mean RTT {}", nr.mean());
+        assert!(
+            (35.0..52.0).contains(&nr.mean()),
+            "5G mean RTT {}",
+            nr.mean()
+        );
         let gap = lte.mean() - nr.mean();
         assert!((18.0..26.0).contains(&gap), "gap {gap}");
     }
@@ -176,7 +180,10 @@ mod tests {
         for _ in 0..100 {
             let tr = m.sample_traceroute(30.0, &mut rng);
             assert!(tr.len() >= 6);
-            assert!(tr.windows(2).all(|w| w[0] <= w[1]), "not cumulative: {tr:?}");
+            assert!(
+                tr.windows(2).all(|w| w[0] <= w[1]),
+                "not cumulative: {tr:?}"
+            );
         }
         // Hop-1 statistics.
         let mut s = OnlineStats::new();
@@ -191,6 +198,11 @@ mod tests {
         let nr = LatencyModel::paper(RatTech::Nr);
         let lte = LatencyModel::paper(RatTech::Lte);
         let rel = |d: f64| (lte.mean_rtt_ms(d) - nr.mean_rtt_ms(d)) / lte.mean_rtt_ms(d);
-        assert!(rel(100.0) > 2.0 * rel(2500.0), "{} vs {}", rel(100.0), rel(2500.0));
+        assert!(
+            rel(100.0) > 2.0 * rel(2500.0),
+            "{} vs {}",
+            rel(100.0),
+            rel(2500.0)
+        );
     }
 }

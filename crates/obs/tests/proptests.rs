@@ -1,0 +1,63 @@
+//! Property-based tests for the observability crate.
+
+use fiveg_obs::{MetricsHandle, Snapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// Span timers never report a negative or zero-width duration, no
+    /// matter how short the timed scope is or how many spans run: every
+    /// completed span contributes at least 1 ns, so `total_ns >= count`
+    /// and `max_ns >= 1` whenever `count > 0`.
+    #[test]
+    fn span_timers_are_strictly_positive(spins in prop::collection::vec(0u32..200, 1..40)) {
+        let m = MetricsHandle::new();
+        for spin in &spins {
+            let g = m.span("work");
+            // Busy-loop a little (possibly zero iterations — the
+            // degenerate scope a coarse clock would report as 0 ns).
+            std::hint::black_box((0..*spin).sum::<u32>());
+            prop_assert!(g.elapsed_ns() >= 1);
+            drop(g);
+        }
+        let snap = m.snapshot();
+        let s = &snap.spans["work"];
+        prop_assert_eq!(s.count, spins.len() as u64);
+        prop_assert!(s.total_ns >= s.count, "each span records >= 1 ns");
+        prop_assert!(s.max_ns >= 1);
+        prop_assert!(s.max_ns <= s.total_ns);
+    }
+
+    /// Histogram invariants hold for arbitrary observations: bucket
+    /// counts sum to the observation count, and the sum matches.
+    #[test]
+    fn histogram_buckets_partition_observations(vals in prop::collection::vec(0u64..5_000, 0..300)) {
+        let m = MetricsHandle::new();
+        let h = m.histogram("h", &[10, 100, 1_000]);
+        for &v in &vals {
+            h.observe(v);
+        }
+        let snap = m.snapshot();
+        let hs = &snap.histograms["h"];
+        prop_assert_eq!(hs.buckets.iter().sum::<u64>(), vals.len() as u64);
+        prop_assert_eq!(hs.count, vals.len() as u64);
+        prop_assert_eq!(hs.sum, vals.iter().sum::<u64>());
+    }
+
+    /// Merging snapshots is equivalent to recording everything into one
+    /// registry (for counters), and JSON rendering stays stable.
+    #[test]
+    fn merge_matches_combined_recording(a in 0u64..10_000, b in 0u64..10_000) {
+        let m1 = MetricsHandle::new();
+        m1.counter("c").add(a);
+        let m2 = MetricsHandle::new();
+        m2.counter("c").add(b);
+        let mut merged = m1.snapshot();
+        merged.merge(&m2.snapshot());
+
+        let all = MetricsHandle::new();
+        all.counter("c").add(a + b);
+        let combined: Snapshot = all.snapshot();
+        prop_assert_eq!(merged.counters["c"], combined.counters["c"]);
+        prop_assert_eq!(merged.to_json(), combined.to_json());
+    }
+}

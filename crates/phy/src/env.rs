@@ -179,7 +179,9 @@ impl RadioEnv {
         };
         let mut loss = median.value()
             + cell.antenna_attenuation_db(ue)
-            + cell.vertical.attenuation_db(cell.pos.distance(ue), cell.height_m);
+            + cell
+                .vertical
+                .attenuation_db(cell.pos.distance(ue), cell.height_m);
         if let Some(mat) = ue_material {
             // Indoor UE: add the exterior wall(s) of its own building.
             // Outdoor blockage by intermediate buildings is already
@@ -269,7 +271,9 @@ impl RadioEnv {
     /// cell (the paper's Sec. 3.2 frequency-lock experiment).
     pub fn measure_pci(&self, ue: Point, pci: u16) -> Option<CellMeasurement> {
         let tech = self.cells[self.cell_index(pci)?].tech();
-        self.measure_all(ue, tech).into_iter().find(|m| m.pci == pci)
+        self.measure_all(ue, tech)
+            .into_iter()
+            .find(|m| m.pci == pci)
     }
 
     /// Full KPI sample of the serving cell at `ue`.
@@ -339,10 +343,7 @@ mod tests {
         // wiggles, so compare 30 m vs 300 m).
         let near = e.rsrp(idx, cell_pos + dir * 30.0);
         let far = e.rsrp(idx, cell_pos + dir * 300.0);
-        assert!(
-            near.value() > far.value() + 10.0,
-            "near {near} far {far}"
-        );
+        assert!(near.value() > far.value() + 10.0, "near {near} far {far}");
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl PropagationParams {
     pub fn loss_los(&self, d_m: f64, f: Frequency) -> Db {
         let d = d_m.max(self.d0_m);
         let pl0 = free_space_db(self.d0_m, f).value() + self.clutter_offset_db;
-        Db::new(pl0 + 10.0 * self.n_los * (d / self.d0_m).log10() + self.clutter_per_100m(f) * d / 100.0)
+        Db::new(
+            pl0 + 10.0 * self.n_los * (d / self.d0_m).log10()
+                + self.clutter_per_100m(f) * d / 100.0,
+        )
     }
 
     /// Median NLoS path loss at distance `d_m` (never below the LoS loss).
@@ -232,9 +235,15 @@ mod tests {
     #[test]
     fn shadowing_is_deterministic() {
         let f = ShadowingField::new(42);
-        assert_eq!(f.standard_value(123.0, 456.0), f.standard_value(123.0, 456.0));
+        assert_eq!(
+            f.standard_value(123.0, 456.0),
+            f.standard_value(123.0, 456.0)
+        );
         let g = ShadowingField::new(43);
-        assert_ne!(f.standard_value(123.0, 456.0), g.standard_value(123.0, 456.0));
+        assert_ne!(
+            f.standard_value(123.0, 456.0),
+            g.standard_value(123.0, 456.0)
+        );
     }
 
     #[test]

@@ -66,9 +66,7 @@ impl MeasurementEvent {
                 "neighbour better than serving by an offset for a period (main hand-off trigger)"
             }
             MeasurementEvent::A4 => "neighbour above an absolute threshold",
-            MeasurementEvent::A5 => {
-                "serving below threshold1 while neighbour above threshold2"
-            }
+            MeasurementEvent::A5 => "serving below threshold1 while neighbour above threshold2",
             MeasurementEvent::B1 => "inter-RAT neighbour above a threshold",
             MeasurementEvent::B2 => {
                 "serving below threshold1 while inter-RAT neighbour above threshold2"

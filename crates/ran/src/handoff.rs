@@ -147,7 +147,12 @@ impl HandoffCampaign {
     /// Runs the campaign over a mobility trace, returning the hand-off
     /// log. Records whose "after" RSRQ could not be sampled before the
     /// trace ended are dropped.
-    pub fn run(&self, env: &RadioEnv, trace: &MobilityTrace, rng: &mut SimRng) -> Vec<HandoffRecord> {
+    pub fn run(
+        &self,
+        env: &RadioEnv,
+        trace: &MobilityTrace,
+        rng: &mut SimRng,
+    ) -> Vec<HandoffRecord> {
         let mut ue = NsaUe::new(self.lte_a3, self.nr_a3);
         let mut records: Vec<HandoffRecord> = Vec::new();
         let mut filled: Vec<bool> = Vec::new();
@@ -193,15 +198,10 @@ impl HandoffCampaign {
                     match srv {
                         Some(srv) if srv.rsrp >= self.nr_drop_threshold => {
                             // Horizontal NR hand-off via A3.
-                            let best_neigh = nr
-                                .iter()
-                                .find(|m| m.pci != nr_pci)
-                                .map(|m| (m.pci, m.rsrq));
-                            if let Some(target) =
-                                ue.nr_a3.observe(p.t, srv.rsrq, best_neigh)
-                            {
-                                let latency =
-                                    HandoffProcedure::nr_to_nr().sample_latency(rng);
+                            let best_neigh =
+                                nr.iter().find(|m| m.pci != nr_pci).map(|m| (m.pci, m.rsrq));
+                            if let Some(target) = ue.nr_a3.observe(p.t, srv.rsrq, best_neigh) {
+                                let latency = HandoffProcedure::nr_to_nr().sample_latency(rng);
                                 records.push(HandoffRecord {
                                     t: p.t,
                                     kind: HandoffKind::NrToNr,
@@ -380,11 +380,7 @@ mod tests {
         // Paper: 387 horizontal vs 20 vertical out of 407.
         let recs = campaign_records(30, 2);
         let horiz = recs.iter().filter(|r| r.kind.is_horizontal()).count();
-        assert!(
-            horiz * 2 > recs.len(),
-            "{horiz}/{} horizontal",
-            recs.len()
-        );
+        assert!(horiz * 2 > recs.len(), "{horiz}/{} horizontal", recs.len());
     }
 
     #[test]
@@ -418,11 +414,7 @@ mod tests {
         // The A3 rule picks better cells, so the majority of hand-offs
         // gain — but a non-negligible fraction do not (the paper found
         // 25 % fail to gain 3 dB; Sec. 3.4).
-        assert!(
-            gained * 2 > horiz.len(),
-            "{gained}/{} gained",
-            horiz.len()
-        );
+        assert!(gained * 2 > horiz.len(), "{gained}/{} gained", horiz.len());
         let missed_3db = horiz
             .iter()
             .filter(|r| r.rsrq_gain().value() <= 3.0)

@@ -56,7 +56,9 @@ pub struct HarqOutcome {
 impl HarqOutcome {
     /// Extra MAC-layer delay caused by retransmissions.
     pub fn extra_delay(&self, cfg: &HarqConfig) -> SimDuration {
-        SimDuration::from_nanos(cfg.retx_delay.as_nanos() * (self.attempts.saturating_sub(1)) as u64)
+        SimDuration::from_nanos(
+            cfg.retx_delay.as_nanos() * (self.attempts.saturating_sub(1)) as u64,
+        )
     }
 }
 
@@ -71,15 +73,33 @@ pub fn transmit_block(sinr_db: f64, cfg: &HarqConfig, rng: &mut SimRng) -> HarqO
         let effective_sinr = sinr_db + cfg.combining_gain_db * (attempts - 1) as f64;
         let p_fail = mcs::bler(effective_sinr, mcs_idx);
         if !rng.chance(p_fail) {
-            return HarqOutcome {
+            let out = HarqOutcome {
                 attempts,
                 delivered: true,
             };
+            record_outcome(&out);
+            return out;
         }
     }
-    HarqOutcome {
+    let out = HarqOutcome {
         attempts: cfg.max_attempts,
         delivered: false,
+    };
+    record_outcome(&out);
+    out
+}
+
+/// Tries-per-transport-block histogram edges: the paper's Fig. 10 shows
+/// everything resolving within 4 attempts; the coarser upper buckets
+/// catch pathological channels short of the 32-attempt ceiling.
+const HARQ_TRIES_EDGES: [u64; 7] = [1, 2, 3, 4, 8, 16, 32];
+
+/// Records one HARQ outcome into the ambient metrics scope (no-op when
+/// no scope is installed — see `fiveg-obs`).
+fn record_outcome(out: &HarqOutcome) {
+    fiveg_obs::observe("ran.harq.tries", &HARQ_TRIES_EDGES, out.attempts as u64);
+    if !out.delivered {
+        fiveg_obs::counter_add("ran.harq.exhausted", 1);
     }
 }
 

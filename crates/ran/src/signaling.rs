@@ -66,9 +66,11 @@ impl HandoffProcedure {
     /// over, then re-add NR on the target (LTE MAC RACH trigger → ... →
     /// NR MAC RACH Attempt SUCCESS). Mean ≈108.4 ms.
     pub fn nr_to_nr() -> Self {
-        let mut steps = vec![
-            SignalingStep::new("NR resource release to master eNB", 12.0, 3.0),
-        ];
+        let mut steps = vec![SignalingStep::new(
+            "NR resource release to master eNB",
+            12.0,
+            3.0,
+        )];
         steps.extend(Self::lte_to_lte().steps); // anchor hand-off, 30.1 ms
         steps.extend(vec![
             SignalingStep::new("SgNB addition request + ACK", 14.3, 3.0),
@@ -181,7 +183,11 @@ mod tests {
         }
         assert!((s.mean() - 108.4).abs() < 1.0, "mean {}", s.mean());
         assert!(s.min() > 40.0, "min {}", s.min());
-        assert!(s.std_dev() > 4.0 && s.std_dev() < 20.0, "std {}", s.std_dev());
+        assert!(
+            s.std_dev() > 4.0 && s.std_dev() < 20.0,
+            "std {}",
+            s.std_dev()
+        );
     }
 
     #[test]

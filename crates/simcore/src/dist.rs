@@ -171,7 +171,10 @@ mod tests {
 
     #[test]
     fn lognormal_mean_matches_formula() {
-        let d = Dist::LogNormal { mu: 0.5, sigma: 0.4 };
+        let d = Dist::LogNormal {
+            mu: 0.5,
+            sigma: 0.4,
+        };
         let s = sample_stats(d, 100_000, 3);
         assert!((s.mean() - d.mean()).abs() / d.mean() < 0.02);
     }

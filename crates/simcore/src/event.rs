@@ -67,6 +67,19 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+impl<E> Drop for EventQueue<E> {
+    /// Flushes lifetime totals into the ambient metrics scope (see
+    /// `fiveg-obs`): how many events this queue scheduled and executed.
+    /// Deterministic — both counts depend only on the simulation — and
+    /// free in the hot path, since the queue already tracks them.
+    fn drop(&mut self) {
+        if self.next_seq > 0 || self.popped > 0 {
+            fiveg_obs::counter_add("sim.events.scheduled", self.next_seq);
+            fiveg_obs::counter_add("sim.events.executed", self.popped);
+        }
+    }
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at zero.
     pub fn new() -> Self {

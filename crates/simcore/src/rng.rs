@@ -189,6 +189,9 @@ mod tests {
         sorted.sort_unstable();
         let expect: Vec<u32> = (0..50).collect();
         assert_eq!(sorted, expect);
-        assert_ne!(v, expect, "shuffle left the slice in order (astronomically unlikely)");
+        assert_ne!(
+            v, expect,
+            "shuffle left the slice in order (astronomically unlikely)"
+        );
     }
 }

@@ -13,15 +13,28 @@ fn main() {
     let flow = sim.add_flow(Box::new(sender), true, false);
     sim.run_until(SimTime::from_secs(10));
     let rep = report.lock();
-    for (t, s) in rep.cc_debug.iter().filter(|(t,_)| t.as_secs_f64() > 1.8 && t.as_secs_f64() < 3.2).step_by(2) {
+    for (t, s) in rep
+        .cc_debug
+        .iter()
+        .filter(|(t, _)| t.as_secs_f64() > 1.8 && t.as_secs_f64() < 3.2)
+        .step_by(2)
+    {
         println!("{:6.2}s {}", t.as_secs_f64(), s);
     }
-    println!("goodput {:.1} Mbps", sim.flow_stats(flow).mean_goodput_until(SimTime::from_secs(10)).mbps());
+    println!(
+        "goodput {:.1} Mbps",
+        sim.flow_stats(flow)
+            .mean_goodput_until(SimTime::from_secs(10))
+            .mbps()
+    );
     // Per-second received rate.
     let wb = &sim.flow_stats(flow).window_bytes;
     for sec in 0..10 {
         let bytes: f64 = wb.iter().skip(sec * 100).take(100).sum();
         println!("  t={sec}s rx {:.0} Mbps", bytes * 8.0 / 1e6);
     }
-    println!("retx {} rto {} lossev {}", rep.retransmissions, rep.rto_count, rep.loss_events);
+    println!(
+        "retx {} rto {} lossev {}",
+        rep.retransmissions, rep.rto_count, rep.loss_events
+    );
 }

@@ -9,7 +9,13 @@ fn main() {
         ("4G-day", PaperPathParams::lte_day(), 130.0),
         ("5G-day", PaperPathParams::nr_day(), 880.0),
     ] {
-        for alg in [CcAlgorithm::Reno, CcAlgorithm::Cubic, CcAlgorithm::Vegas, CcAlgorithm::Veno, CcAlgorithm::Bbr] {
+        for alg in [
+            CcAlgorithm::Reno,
+            CcAlgorithm::Cubic,
+            CcAlgorithm::Vegas,
+            CcAlgorithm::Veno,
+            CcAlgorithm::Bbr,
+        ] {
             let path = PathConfig::paper(&params, Direction::Downlink);
             let ct = path.paper_cross_traffic();
             let mut sim = NetSim::new(path, 5);
@@ -18,8 +24,22 @@ fn main() {
             let flow = sim.add_flow(Box::new(sender), true, false);
             sim.run_until(SimTime::from_secs(20));
             let rep = report.lock();
-            let goodput = sim.flow_stats(flow).mean_goodput_until(SimTime::from_secs(20)).mbps();
-            let drops: Vec<String> = sim.hops().iter().map(|h| format!("{}:{}/{}", h.config.name, h.stats.dropped(), h.stats.max_queue_pkts)).collect();
+            let goodput = sim
+                .flow_stats(flow)
+                .mean_goodput_until(SimTime::from_secs(20))
+                .mbps();
+            let drops: Vec<String> = sim
+                .hops()
+                .iter()
+                .map(|h| {
+                    format!(
+                        "{}:{}/{}",
+                        h.config.name,
+                        h.stats.dropped(),
+                        h.stats.max_queue_pkts
+                    )
+                })
+                .collect();
             println!("{name} {:>5}: {:5.1} Mbps util {:4.1}% retx {:6} lossev {:4} rto {:3} rtt {:5.1}ms  hops[drops/maxq]: {}",
                 alg.name(), goodput, 100.0*goodput/base, rep.retransmissions, rep.loss_events, rep.rto_count, rep.rtt.mean(), drops.join(" "));
         }

@@ -260,7 +260,11 @@ impl CongestionControl for Bbr {
             "phase={} btlbw={:.1}Mbps rtprop={:.1}ms round={} full_bw={}",
             self.phase_name(),
             self.btlbw_bps / 1e6,
-            if self.rtprop == SimDuration::MAX { -1.0 } else { self.rtprop.as_millis_f64() },
+            if self.rtprop == SimDuration::MAX {
+                -1.0
+            } else {
+                self.rtprop.as_millis_f64()
+            },
             self.round,
             self.full_bw_reached
         )
@@ -384,7 +388,11 @@ mod tests {
         }
         // BDP = 80 Mbps × 20 ms = 200 kB; cwnd = 2×BDP.
         let bdp = 80e6 * 0.020 / 8.0;
-        assert!((b.cwnd() - CWND_GAIN * bdp).abs() / bdp < 0.05, "{}", b.cwnd());
+        assert!(
+            (b.cwnd() - CWND_GAIN * bdp).abs() / bdp < 0.05,
+            "{}",
+            b.cwnd()
+        );
     }
 
     #[test]

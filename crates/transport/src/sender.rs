@@ -87,6 +87,23 @@ pub struct TcpSender {
     rack_ts: SimTime,
 }
 
+impl Drop for TcpSender {
+    /// Flushes per-flow totals into the ambient metrics scope (see
+    /// `fiveg-obs`). Reads the already-maintained [`SenderReport`], so
+    /// the hot path pays nothing; all four values are deterministic
+    /// functions of the simulation seed.
+    fn drop(&mut self) {
+        let rep = self.report.lock();
+        let cwnd_updates = rep.cwnd_trace.len() as u64;
+        if rep.retransmissions + rep.loss_events + rep.rto_count + cwnd_updates > 0 {
+            fiveg_obs::counter_add("transport.retransmissions", rep.retransmissions);
+            fiveg_obs::counter_add("transport.loss_events", rep.loss_events);
+            fiveg_obs::counter_add("transport.rto_count", rep.rto_count);
+            fiveg_obs::counter_add("transport.cwnd_updates", cwnd_updates);
+        }
+    }
+}
+
 /// Floor for the retransmission timer (Linux: 200 ms).
 const RTO_MIN: SimDuration = SimDuration::from_millis(200);
 const RTO_MAX: SimDuration = SimDuration::from_secs(10);
@@ -250,8 +267,9 @@ impl TcpSender {
     /// stalls all the way to an RTO.
     fn arm_tlp(&mut self, ctx: &mut Ctx) {
         let delay = match self.srtt {
-            Some(srtt) => SimDuration::from_nanos(2 * srtt.as_nanos())
-                .max(SimDuration::from_millis(10)),
+            Some(srtt) => {
+                SimDuration::from_nanos(2 * srtt.as_nanos()).max(SimDuration::from_millis(10))
+            }
             None => SimDuration::from_millis(100),
         };
         let id = ctx.set_timer(TimerKind::Aux(TLP_AUX), delay);
@@ -320,11 +338,8 @@ impl TcpSender {
         if self.rack_ts == SimTime::ZERO {
             return false;
         }
-        let deadline = SimTime::from_nanos(
-            self.rack_ts
-                .as_nanos()
-                .saturating_sub(reo_wnd.as_nanos()),
-        );
+        let deadline =
+            SimTime::from_nanos(self.rack_ts.as_nanos().saturating_sub(reo_wnd.as_nanos()));
         let mut newly = false;
         while let Some(&(t, seg)) = self.sent_index.iter().next() {
             if t > deadline {
@@ -457,8 +472,7 @@ impl TcpSender {
                     }
                     break;
                 }
-                let gap =
-                    SimDuration::from_secs_f64(rate.secs_for_bits(MSS_BYTES as f64 * 8.0));
+                let gap = SimDuration::from_secs_f64(rate.secs_for_bits(MSS_BYTES as f64 * 8.0));
                 self.next_send = now.max(self.next_send) + gap;
             }
             if let Some(seq) = self.pop_retx() {

@@ -11,7 +11,11 @@ use proptest::prelude::*;
 /// A random sequence of protocol events.
 #[derive(Debug, Clone)]
 enum Ev {
-    Ack { bytes: u64, rtt_ms: u64, rate_mbps: f64 },
+    Ack {
+        bytes: u64,
+        rtt_ms: u64,
+        rate_mbps: f64,
+    },
     Loss,
     Rto,
 }

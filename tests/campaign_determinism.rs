@@ -57,6 +57,53 @@ fn worker_count_does_not_change_artifacts() {
 }
 
 #[test]
+fn metrics_counters_are_identical_across_worker_counts() {
+    let reg = paper_registry();
+    let one = run(
+        &reg,
+        &RunConfig::new(2020).only(CHEAP).workers(1),
+        &mut |_| {},
+    );
+    let eight = run(
+        &reg,
+        &RunConfig::new(2020).only(CHEAP).workers(8),
+        &mut |_| {},
+    );
+    for (a, b) in one.results.iter().zip(&eight.results) {
+        assert_eq!(a.name, b.name);
+        let (sa, sb) = (a.metrics.as_ref().unwrap(), b.metrics.as_ref().unwrap());
+        // The full deterministic view — counters, gauges, flattened
+        // histogram buckets — must not depend on the worker count.
+        assert_eq!(sa.deterministic(), sb.deterministic(), "{}", a.name);
+        // Span timers carry host wall time and are exactly the part
+        // excluded from the comparison above.
+        assert!(!sa.spans.is_empty() || sa.counters.is_empty());
+    }
+    // Manifest perf rows expose the same counters.
+    for (row, r) in one.manifest.jobs.iter().zip(&one.results) {
+        let perf = row.perf.as_ref().expect("successful job has perf row");
+        assert_eq!(perf.counters, r.metrics.as_ref().unwrap().deterministic());
+        assert_eq!(
+            perf.events,
+            perf.counters
+                .get("sim.events.executed")
+                .copied()
+                .unwrap_or(0)
+        );
+    }
+    // The energy jobs drive the radio state machine, so dwell counters
+    // must actually be present — this guards against the scope silently
+    // not being installed.
+    let table4 = one.results.iter().find(|r| r.name == "table4").unwrap();
+    let counters = table4.metrics.as_ref().unwrap().deterministic();
+    assert!(
+        counters.keys().any(|k| k.starts_with("energy.dwell_ns.")),
+        "energy instrumentation missing: {:?}",
+        counters.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn seeds_are_per_job_and_stable() {
     let reg = paper_registry();
     let report = run(&reg, &RunConfig::new(7).only("sec6-energy"), &mut |_| {});

@@ -25,9 +25,17 @@ fn handoff_rate_reflects_smaller_5g_cells() {
     let recs = HandoffCampaign::default().run(&sc.env, &trace, &mut rng.substream("h"));
     let nr_events = recs
         .iter()
-        .filter(|r| matches!(r.kind, HandoffKind::NrToNr | HandoffKind::NrToLte | HandoffKind::LteToNr))
+        .filter(|r| {
+            matches!(
+                r.kind,
+                HandoffKind::NrToNr | HandoffKind::NrToLte | HandoffKind::LteToNr
+            )
+        })
         .count();
-    assert!(nr_events > 0, "10 minutes of movement must touch the NR leg");
+    assert!(
+        nr_events > 0,
+        "10 minutes of movement must touch the NR leg"
+    );
 }
 
 #[test]
@@ -51,7 +59,10 @@ fn coverage_holes_force_vertical_handoffs() {
             .unwrap_or(true)
     });
     let recs = HandoffCampaign::default().run(&sc.env, &trace, &mut rng.substream("h"));
-    let fallbacks = recs.iter().filter(|r| r.kind == HandoffKind::NrToLte).count();
+    let fallbacks = recs
+        .iter()
+        .filter(|r| r.kind == HandoffKind::NrToLte)
+        .count();
     if crosses_hole {
         assert!(fallbacks > 0, "walked through a hole but never fell back");
     }
@@ -94,7 +105,10 @@ fn handoff_latency_feeds_energy_relevant_interruptions() {
     let trace = rwp.generate(&sc.campus.map, &mut rng.substream("m"));
     let recs = HandoffCampaign::default().run(&sc.env, &trace, &mut rng.substream("h"));
     let total_interruption: f64 = recs.iter().map(|r| r.latency.as_secs_f64()).sum();
-    let horiz_5g = recs.iter().filter(|r| r.kind == HandoffKind::NrToNr).count();
+    let horiz_5g = recs
+        .iter()
+        .filter(|r| r.kind == HandoffKind::NrToNr)
+        .count();
     if horiz_5g > 0 {
         assert!(
             total_interruption > 0.1 * horiz_5g as f64,

@@ -228,9 +228,12 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
     AnyStrategy(PhantomData)
 }
 
+/// One weighted arm of a [`OneOf`] union.
+type WeightedArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
 /// Weighted union of strategies, built by [`prop_oneof!`].
 pub struct OneOf<V> {
-    arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>,
+    arms: Vec<WeightedArm<V>>,
 }
 
 impl<V> OneOf<V> {
