@@ -56,22 +56,25 @@ stage "golden smoke: repro --only table1 --check"
 "${REPRO[@]}" --only table1 --out target/ci-repro-out --check golden/quick-s2020
 
 # Full quick campaign at 8 workers. Counter drift against the committed
-# baseline fails the gate; a >25 % events/sec drop only warns (wall time
-# depends on the host).
+# baseline fails the gate (including the phy.sample microbench
+# counters); a >25 % events/sec drop only warns (wall time depends on
+# the host).
 stage "perf gate: repro --bench vs ${BASELINE}"
-"${REPRO[@]}" --jobs 8 --out target/ci-bench-j8 --bench \
+rm -rf target/ci-bench-j8 target/ci-bench-j1   # stale artifacts from older schemas
+FIVEG_SWEEP_THREADS=8 "${REPRO[@]}" --jobs 8 --out target/ci-bench-j8 --bench \
   --bench-check "${BASELINE}" > /dev/null
 
-# Same campaign single-threaded: every artifact byte, every manifest
-# fingerprint and every metrics counter must match the 8-worker run.
+# Same campaign single-threaded — one worker AND one sweep thread:
+# every artifact byte, every manifest fingerprint and every metrics
+# counter must match the 8-worker/8-sweep-thread run.
 stage "determinism: --jobs 1 vs --jobs 8"
-"${REPRO[@]}" --jobs 1 --out target/ci-bench-j1 --bench \
-  --bench-check target/ci-bench-j8/BENCH_0002.json > /dev/null
+FIVEG_SWEEP_THREADS=1 "${REPRO[@]}" --jobs 1 --out target/ci-bench-j1 --bench \
+  --bench-check target/ci-bench-j8/BENCH_0003.json > /dev/null
 for f in target/ci-bench-j1/*.json; do
   name=$(basename "$f")
   # manifest.json and the bench report embed wall times; their
   # deterministic parts are compared via fingerprints/counters below.
-  [[ "$name" == manifest.json || "$name" == BENCH_0002.json ]] && continue
+  [[ "$name" == manifest.json || "$name" == BENCH_0003.json ]] && continue
   cmp "$f" "target/ci-bench-j8/$name" \
     || { echo "determinism: artifact $name differs between -j1 and -j8" >&2; exit 1; }
 done

@@ -1,0 +1,52 @@
+//! Benches for the radio measurement fast path: full-environment
+//! measurement sweeps, KPI sampling and spatial-indexed ray tracing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_core::phy::{MeasureScratch, Tech};
+use fiveg_core::Scenario;
+use fiveg_geo::Point;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sc = Scenario::paper(2020);
+    let ue = Point::new(250.0, 460.0);
+    let mut g = c.benchmark_group("phy");
+    g.bench_function("measure_all_nr", |b| {
+        let mut scratch = MeasureScratch::new();
+        b.iter(|| {
+            black_box(
+                sc.env
+                    .measure_all_into(black_box(ue), Tech::Nr, &mut scratch)
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("measure_all_lte", |b| {
+        let mut scratch = MeasureScratch::new();
+        b.iter(|| {
+            black_box(
+                sc.env
+                    .measure_all_into(black_box(ue), Tech::Lte, &mut scratch)
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("kpi_sample", |b| {
+        let mut scratch = MeasureScratch::new();
+        b.iter(|| {
+            black_box(
+                sc.env
+                    .kpi_sample_into(black_box(ue), Tech::Nr, 1.0, &mut scratch),
+            )
+        })
+    });
+    g.bench_function("campus_trace", |b| {
+        let a = Point::new(20.0, 30.0);
+        let z = Point::new(480.0, 890.0);
+        b.iter(|| black_box(sc.campus.map.trace(black_box(a), black_box(z))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -28,9 +28,10 @@ Options:
   --check DIR      diff the run's JSON artifacts against golden DIR and
                    exit non-zero on any drift
   --bless DIR      write the run's JSON artifacts to DIR as new goldens
-  --bench          also write a benchmark report (BENCH_0002.json in the
+  --bench          also write a benchmark report (BENCH_0003.json in the
                    artifact directory): per-job wall time, events
-                   simulated, events/sec and all deterministic counters
+                   simulated, events/sec, all deterministic counters and
+                   the phy.sample hot-path microbenchmark
   --bench-out FILE write the benchmark report to FILE (implies --bench)
   --bench-check FILE
                    compare this run's benchmark report against baseline
@@ -270,11 +271,17 @@ fn main() -> ExitCode {
     let mut failed = report.failures() > 0;
 
     if cli.bench {
-        let bench = BenchReport::from_run(&report);
+        let mut bench = BenchReport::from_run(&report);
+        let micro = fiveg_bench::phy_sample_micro(cli.seed);
+        eprintln!(
+            "micro phy.sample: {} samples in {} ms ({} samples/s)",
+            micro.samples, micro.wall_ms, micro.samples_per_sec
+        );
+        bench.micro.insert("phy.sample".to_string(), micro);
         let path = cli
             .bench_out
             .clone()
-            .unwrap_or_else(|| cli.out.join("BENCH_0002.json"));
+            .unwrap_or_else(|| cli.out.join("BENCH_0003.json"));
         if let Err(e) = std::fs::write(&path, bench.to_json()) {
             eprintln!("error: writing bench report to {}: {e}", path.display());
             return ExitCode::from(2);

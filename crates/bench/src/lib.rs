@@ -7,11 +7,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod micro;
 pub mod report;
 
+pub use micro::phy_sample_micro;
 pub use report::{
-    compare_to_baseline, BenchComparison, BenchJob, BenchReport, BenchTotals, BENCH_SCHEMA,
-    THROUGHPUT_WARN_FRACTION,
+    compare_to_baseline, BenchComparison, BenchJob, BenchReport, BenchTotals, MicroBench,
+    BENCH_SCHEMA, THROUGHPUT_WARN_FRACTION,
 };
 
 use std::fs;

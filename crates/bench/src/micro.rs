@@ -1,0 +1,73 @@
+//! Hot-path microbenchmarks for the `micro` section of the bench
+//! report (schema 3).
+//!
+//! The campaign jobs time whole experiments; these workloads isolate
+//! the layers the experiments lean on hardest. Each workload is fixed
+//! and seed-deterministic, runs single-threaded, and records its work
+//! through `fiveg-obs` counters — so the CI gate can fail on counter
+//! drift (the workload itself changed) while treating wall time as
+//! advisory, exactly like the per-job rows.
+
+use crate::report::MicroBench;
+use fiveg_core::phy::{MeasureScratch, Tech};
+use fiveg_core::Scenario;
+use fiveg_obs::MetricsHandle;
+use std::time::Instant;
+
+/// Grid spacing for the `phy.sample` workload, metres.
+const GRID_STEP_M: f64 = 25.0;
+
+/// The `phy.sample` workload: a serial outdoor-grid sweep of the paper
+/// scenario measuring every LTE and NR cell at each point through one
+/// reused [`MeasureScratch`]. This is the exact inner loop of the
+/// coverage-grid and hand-off-trace experiments, minus orchestration.
+pub fn phy_sample_micro(seed: u64) -> MicroBench {
+    let sc = Scenario::paper(seed);
+    let grid = sc.campus.map.grid_samples(GRID_STEP_M, true);
+    let m = MetricsHandle::new();
+    let start = Instant::now();
+    fiveg_obs::scoped(&m, || {
+        let mut scratch = MeasureScratch::new();
+        for &p in &grid {
+            for tech in [Tech::Lte, Tech::Nr] {
+                std::hint::black_box(sc.env.measure_all_into(p, tech, &mut scratch).len());
+            }
+        }
+        // `scratch` drops here, inside the scope: its counters flush
+        // into `m` before the snapshot below.
+    });
+    let wall = start.elapsed();
+    let counters = m.snapshot().deterministic();
+    let samples = counters.get("phy.measure.samples").copied().unwrap_or(0);
+    let samples_per_sec = if wall.as_secs_f64() > 0.0 {
+        (samples as f64 / wall.as_secs_f64()) as u64
+    } else {
+        0
+    };
+    MicroBench {
+        wall_ms: wall.as_millis() as u64,
+        samples,
+        samples_per_sec,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phy_sample_micro_is_counter_deterministic() {
+        let a = phy_sample_micro(2020);
+        let b = phy_sample_micro(2020);
+        assert!(a.samples > 500, "workload too small: {}", a.samples);
+        assert_eq!(a.counters, b.counters, "micro counters must be seed-pure");
+        assert_eq!(
+            a.counters["phy.scratch.reuse"],
+            a.samples - 1,
+            "one persistent scratch reuses every call after the first"
+        );
+        assert!(a.counters["phy.buildings.pruned"] > 0);
+        assert!(a.counters["phy.rays.traced"] > a.samples);
+    }
+}

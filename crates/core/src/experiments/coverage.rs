@@ -1,10 +1,11 @@
 //! Coverage experiments: Tab. 1, Tab. 2, Fig. 2a, Fig. 2b, Fig. 3.
 
+use crate::par;
 use crate::report;
 use crate::scenario::Scenario;
 use fiveg_geo::mobility::RoadSurvey;
 use fiveg_geo::Point;
-use fiveg_phy::{RadioEnv, Tech};
+use fiveg_phy::{MeasureScratch, RadioEnv, Tech};
 use fiveg_simcore::{Cdf, Histogram, OnlineStats, SimRng};
 use serde::{Deserialize, Serialize};
 
@@ -79,14 +80,31 @@ impl Table1 {
 /// Runs the blanket road survey and produces Tab. 1.
 pub fn table1(sc: &Scenario) -> Table1 {
     let trace = RoadSurvey::paper_default().generate(&sc.campus.map);
+    // Measure in parallel (order-preserved), then reduce serially —
+    // `OnlineStats` accumulation is float-order-sensitive.
+    let measured = par::par_map_with(
+        &trace.points,
+        par::sweep_threads(),
+        MeasureScratch::new,
+        |s, _, p| {
+            (
+                sc.env
+                    .serving_into(p.pos, Tech::Lte, s)
+                    .map(|m| m.rsrp.value()),
+                sc.env
+                    .serving_into(p.pos, Tech::Nr, s)
+                    .map(|m| m.rsrp.value()),
+            )
+        },
+    );
     let mut s4 = OnlineStats::new();
     let mut s5 = OnlineStats::new();
-    for p in trace.iter() {
-        if let Some(m) = sc.env.serving(p.pos, Tech::Lte) {
-            s4.push(m.rsrp.value());
+    for (m4, m5) in measured {
+        if let Some(v) = m4 {
+            s4.push(v);
         }
-        if let Some(m) = sc.env.serving(p.pos, Tech::Nr) {
-            s5.push(m.rsrp.value());
+        if let Some(v) = m5 {
+            s5.push(v);
         }
     }
     Table1 {
@@ -171,22 +189,41 @@ pub fn table2(sc: &Scenario, n: usize) -> Table2 {
         .map(|&i| sc.campus.plan.enb_sites[i].num_sectors())
         .sum();
     let cosited_max_pci = 200 + cosited_sectors as u16;
-    for _ in 0..n {
-        let p = trace.points[rng.index(trace.len())].pos;
-        if let Some(m) = sc.env.serving(p, Tech::Lte) {
-            h4.push(m.rsrp.value());
+    // Draw every sampled position first (keeping the RNG stream serial
+    // and unchanged), then measure the batch in parallel.
+    let positions: Vec<Point> = (0..n)
+        .map(|_| trace.points[rng.index(trace.len())].pos)
+        .collect();
+    let measured = par::par_map_with(
+        &positions,
+        par::sweep_threads(),
+        MeasureScratch::new,
+        |s, _, &p| {
+            // One LTE sweep serves both columns: the serving cell is the
+            // first entry, the density-matched 4G column the best cell
+            // among the co-sited eNBs only.
+            let (m4, m4c) = {
+                let all = sc.env.measure_all_into(p, Tech::Lte, s);
+                (
+                    all.first().map(|m| m.rsrp.value()),
+                    all.iter()
+                        .find(|m| m.pci < cosited_max_pci)
+                        .map(|m| m.rsrp.value()),
+                )
+            };
+            let m5 = sc.env.serving_into(p, Tech::Nr, s).map(|m| m.rsrp.value());
+            (m4, m5, m4c)
+        },
+    );
+    for (m4, m5, m4c) in measured {
+        if let Some(v) = m4 {
+            h4.push(v);
         }
-        if let Some(m) = sc.env.serving(p, Tech::Nr) {
-            h5.push(m.rsrp.value());
+        if let Some(v) = m5 {
+            h5.push(v);
         }
-        // Density-matched 4G: best among the co-sited eNBs' cells only.
-        if let Some(m) = sc
-            .env
-            .measure_all(p, Tech::Lte)
-            .into_iter()
-            .find(|m| m.pci < cosited_max_pci)
-        {
-            h4c.push(m.rsrp.value());
+        if let Some(v) = m4c {
+            h4c.push(v);
         }
     }
     let frac = |h: &Histogram| -> [f64; 6] {
@@ -249,15 +286,23 @@ impl Fig2a {
 /// Computes the Fig. 2a grid map for 5G.
 pub fn fig2a(sc: &Scenario, step_m: f64) -> Fig2a {
     let samples = sc.campus.map.grid_samples(step_m, true);
+    let measured = par::par_map_with(
+        &samples,
+        par::sweep_threads(),
+        MeasureScratch::new,
+        |s, _, &p| {
+            sc.env
+                .serving_into(p, Tech::Nr, s)
+                .map(|m| (p.x, p.y, m.rsrp.value(), m.pci))
+        },
+    );
     let mut points = Vec::with_capacity(samples.len());
     let mut holes = 0usize;
-    for p in samples {
-        if let Some(m) = sc.env.serving(p, Tech::Nr) {
-            if m.rsrp.value() < -105.0 {
-                holes += 1;
-            }
-            points.push((p.x, p.y, m.rsrp.value(), m.pci));
+    for m in measured.into_iter().flatten() {
+        if m.2 < -105.0 {
+            holes += 1;
         }
+        points.push(m);
     }
     let hole_fraction = holes as f64 / points.len().max(1) as f64;
     Fig2a {
@@ -309,30 +354,43 @@ pub fn fig2b(sc: &Scenario) -> Fig2b {
     let env: &RadioEnv = &sc.env;
     let idx = env.cell_index(60).expect("NR PCI 60 deployed");
     let cell = env.cells[idx];
-    let mut samples = Vec::new();
     // 20 m grid out to 320 m around the site, as the paper partitioned
-    // the neighbourhood of cell 72.
+    // the neighbourhood of cell 72. Enumerate the grid serially, sweep
+    // it in parallel.
     let step = 20.0;
     let reach = 320.0;
+    let mut grid = Vec::new();
     let mut y = cell.pos.y - reach;
     while y <= cell.pos.y + reach {
         let mut x = cell.pos.x - reach;
         while x <= cell.pos.x + reach {
             let p = Point::new(x, y);
             if sc.campus.map.bounds.contains(p) {
-                if let Some(m) = env.measure_pci(p, cell.pci) {
-                    let kpi = env.kpi_for(m, p, 1.0);
-                    samples.push((x, y, kpi.bitrate.mbps()));
-                }
+                grid.push(p);
             }
             x += step;
         }
         y += step;
     }
+    let samples: Vec<(f64, f64, f64)> = par::par_map_with(
+        &grid,
+        par::sweep_threads(),
+        MeasureScratch::new,
+        |s, _, &p| {
+            env.measure_pci_into(p, cell.pci, s).map(|m| {
+                let kpi = env.kpi_for(m, p, 1.0);
+                (p.x, p.y, kpi.bitrate.mbps())
+            })
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
     // Boresight walk until the cell drops out of service (paper: the
     // LoS walk to location A at ≈230 m).
     let az = cell.antenna.azimuth_deg.to_radians();
     let dir = Point::new(az.cos(), az.sin());
+    let mut scratch = MeasureScratch::new();
     let mut radius: f64 = 0.0;
     let mut d = 10.0;
     while d < 600.0 {
@@ -340,7 +398,7 @@ pub fn fig2b(sc: &Scenario) -> Fig2b {
         if !sc.campus.map.bounds.contains(p) {
             break;
         }
-        match env.measure_pci(p, cell.pci) {
+        match env.measure_pci_into(p, cell.pci, &mut scratch) {
             Some(m) if m.rsrp.value() >= -105.0 => radius = d,
             _ => {}
         }
@@ -440,6 +498,7 @@ pub fn fig3(sc: &Scenario) -> Fig3 {
         indoor_4g: Vec::new(),
     };
     let mut rng: SimRng = sc.rng("fig3");
+    let mut scratch = MeasureScratch::new();
     for b in &sc.campus.map.buildings {
         let c = b.footprint.center();
         // Keep buildings within 60–160 m of some gNB (the paper measured
@@ -472,10 +531,9 @@ pub fn fig3(sc: &Scenario) -> Fig3 {
                 (Tech::Nr, &mut out.outdoor_5g, &mut out.indoor_5g),
                 (Tech::Lte, &mut out.outdoor_4g, &mut out.indoor_4g),
             ] {
-                if let (Some(o), Some(i)) = (
-                    sc.env.kpi_sample(outdoor, tech, 1.0),
-                    sc.env.kpi_sample(indoor, tech, 1.0),
-                ) {
+                let o = sc.env.kpi_sample_into(outdoor, tech, 1.0, &mut scratch);
+                let i = sc.env.kpi_sample_into(indoor, tech, 1.0, &mut scratch);
+                if let (Some(o), Some(i)) = (o, i) {
                     ovec.push(o.bitrate.mbps());
                     ivec.push(i.bitrate.mbps());
                 }

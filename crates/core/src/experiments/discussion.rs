@@ -77,6 +77,7 @@ impl CpeStudy {
 /// every building within 200 m of a gNB and measure the achievable rate.
 pub fn cpe_study(sc: &Scenario) -> CpeStudy {
     let mut home_rates = Vec::new();
+    let mut scratch = fiveg_phy::MeasureScratch::new();
     for b in &sc.campus.map.buildings {
         let c = b.footprint.center();
         let near_gnb = sc
@@ -93,7 +94,7 @@ pub fn cpe_study(sc: &Scenario) -> CpeStudy {
         // sample (the gain applies to both signal and interference from
         // the same direction only partially; we credit it to SINR at
         // half strength, conservatively).
-        if let Some(m) = sc.env.serving(c, Tech::Nr) {
+        if let Some(m) = sc.env.serving_into(c, Tech::Nr, &mut scratch) {
             let boosted = fiveg_phy::CellMeasurement {
                 rsrp: m.rsrp + fiveg_simcore::Db::new(CPE_ANTENNA_GAIN_DB),
                 sinr: fiveg_simcore::Db::new(m.sinr.value() + CPE_ANTENNA_GAIN_DB / 2.0),

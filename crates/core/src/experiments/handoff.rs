@@ -56,8 +56,9 @@ pub fn fig4(sc: &Scenario) -> Fig4 {
     let mut series: HashMap<u16, Vec<(f64, f64)>> = HashMap::new();
     let mut serving_pci: Option<u16> = None;
     let mut handoff_at = None;
+    let mut scratch = fiveg_phy::MeasureScratch::new();
     for p in trace.iter() {
-        let all = sc.env.measure_all(p.pos, Tech::Nr);
+        let all = sc.env.measure_all_into(p.pos, Tech::Nr, &mut scratch);
         for m in all.iter().take(3) {
             series
                 .entry(m.pci)

@@ -39,6 +39,7 @@
 pub mod calib;
 pub mod experiments;
 pub mod jobs;
+pub mod par;
 pub mod report;
 pub mod scenario;
 

@@ -13,6 +13,9 @@
 //!   penetration-loss model in `fiveg-phy`).
 //! * [`map`] — the campus map: bounds, buildings, roads, line-of-sight and
 //!   indoor queries.
+//! * [`index`] — uniform-grid spatial index that prefilters the buildings
+//!   a point or ray can touch, keeping the hot propagation queries
+//!   O(candidates) instead of O(buildings).
 //! * [`campus`] — deterministic synthetic campus generator matched to the
 //!   paper's dimensions and site densities.
 //! * [`mobility`] — walk/bike mobility models producing timestamped
@@ -23,12 +26,14 @@
 
 pub mod building;
 pub mod campus;
+pub mod index;
 pub mod map;
 pub mod mobility;
 pub mod point;
 
 pub use building::{Building, Material};
 pub use campus::{Campus, CampusConfig, SitePlan};
+pub use index::SpatialIndex;
 pub use map::CampusMap;
 pub use mobility::{LinearTransect, MobilityTrace, RandomWaypoint, RoadSurvey, TracePoint};
 pub use point::{Point, Rect, Segment};

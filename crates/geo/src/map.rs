@@ -2,8 +2,10 @@
 //! the propagation model needs (line of sight, indoor test, ray tracing).
 
 use crate::building::{trace_ray, Building, RayObstruction};
+use crate::index::SpatialIndex;
 use crate::point::{Point, Rect, Segment};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A road represented as a polyline of waypoints.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,7 +49,7 @@ impl Road {
 }
 
 /// The full campus map.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CampusMap {
     /// Campus bounding rectangle.
     pub bounds: Rect,
@@ -55,34 +57,182 @@ pub struct CampusMap {
     pub buildings: Vec<Building>,
     /// Road network.
     pub roads: Vec<Road>,
+    /// Spatial acceleration structure over `buildings`. Derived data,
+    /// excluded from serialization (the manual [`Serialize`] impl below
+    /// writes only the three geometry fields); a map without an index
+    /// answers every query by full scan until
+    /// [`CampusMap::ensure_index`] rebuilds it.
+    index: Option<Arc<SpatialIndex>>,
 }
 
+/// Manual impl (instead of derive) so the derived-data `index` field
+/// stays out of the artifact bytes — the vendored serde derive has no
+/// `#[serde(skip)]`.
+impl Serialize for CampusMap {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("bounds".to_string(), self.bounds.to_value()),
+            ("buildings".to_string(), self.buildings.to_value()),
+            ("roads".to_string(), self.roads.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for CampusMap {}
+
 impl CampusMap {
-    /// Constructs a map.
+    /// Constructs a map (and its spatial index).
     pub fn new(bounds: Rect, buildings: Vec<Building>, roads: Vec<Road>) -> Self {
+        let index = Some(Arc::new(SpatialIndex::build(bounds, &buildings)));
         CampusMap {
             bounds,
             buildings,
             roads,
+            index,
+        }
+    }
+
+    /// The spatial index, if built. `None` only for maps freshly
+    /// deserialized (the index is derived data and not serialized).
+    pub fn spatial_index(&self) -> Option<&SpatialIndex> {
+        self.index.as_deref()
+    }
+
+    /// Rebuilds the spatial index if absent (after deserialization).
+    pub fn ensure_index(&mut self) {
+        if self.index.is_none() {
+            self.index = Some(Arc::new(SpatialIndex::build(self.bounds, &self.buildings)));
         }
     }
 
     /// Whether `p` is indoors (inside any building footprint).
     pub fn is_indoor(&self, p: Point) -> bool {
-        self.buildings.iter().any(|b| b.contains(p))
+        match &self.index {
+            Some(idx) => idx
+                .candidates_point(p)
+                .iter()
+                .any(|&bi| self.buildings[bi as usize].contains(p)),
+            None => self.buildings.iter().any(|b| b.contains(p)),
+        }
     }
 
     /// Whether a straight ray from `a` to `b` is line-of-sight (touches no
     /// building).
     pub fn has_los(&self, a: Point, b: Point) -> bool {
         let seg = Segment::new(a, b);
-        !self.buildings.iter().any(|bl| bl.blocks(seg))
+        match &self.index {
+            Some(idx) => {
+                // Existence query: the scan stops at the first
+                // obstruction instead of collecting all candidates.
+                !idx.scan_segment_until(seg, |bi| self.buildings[bi as usize].blocks(seg))
+            }
+            None => !self.buildings.iter().any(|bl| bl.blocks(seg)),
+        }
     }
 
     /// Traces the ray from `a` to `b`, reporting every wall crossed with
     /// its material. Drives the penetration/diffraction loss model.
     pub fn trace(&self, a: Point, b: Point) -> RayObstruction {
-        trace_ray(&self.buildings, Segment::new(a, b))
+        let seg = Segment::new(a, b);
+        match &self.index {
+            Some(idx) => {
+                let mut cand = Vec::new();
+                idx.candidates_segment(seg, &mut cand);
+                let mut out = RayObstruction::default();
+                // Candidates come out ascending, so the report is in the
+                // same building order as the full scan.
+                for &bi in &cand {
+                    let b = &self.buildings[bi as usize];
+                    let n = b.wall_crossings(seg);
+                    if n > 0 {
+                        out.crossings.push((b.material, n));
+                    } else if b.contains(seg.a) && b.contains(seg.b) {
+                        out.crossings.push((b.material, 0));
+                    }
+                }
+                out
+            }
+            None => trace_ray(&self.buildings, seg),
+        }
+    }
+
+    /// Visits every building that might touch `seg`, in ascending
+    /// building-index order, reusing `cand` as candidate scratch so the
+    /// query allocates nothing at steady state. Returns the number of
+    /// buildings visited (callers derive "pruned" from the total).
+    ///
+    /// The candidate set is conservative: visited buildings may miss the
+    /// segment (re-test in `f`), but no intersecting building is skipped.
+    pub fn for_buildings_near_segment(
+        &self,
+        seg: Segment,
+        cand: &mut Vec<u32>,
+        mut f: impl FnMut(&Building),
+    ) -> usize {
+        match &self.index {
+            Some(idx) => {
+                idx.candidates_segment(seg, cand);
+                for &bi in cand.iter() {
+                    f(&self.buildings[bi as usize]);
+                }
+                cand.len()
+            }
+            None => {
+                for b in &self.buildings {
+                    f(b);
+                }
+                self.buildings.len()
+            }
+        }
+    }
+
+    /// Bitmap form of the segment-candidate query: fills `words` with
+    /// the conservative candidate set for `seg` (bit `w * 64 + b` ⇔
+    /// building index, ascending by construction). Returns `false` when
+    /// no spatial index is built — the caller must fall back to a full
+    /// scan. This is the cheapest candidate form and what the radio
+    /// fast path iterates directly.
+    pub fn ray_candidates_mask(&self, seg: Segment, words: &mut Vec<u64>) -> bool {
+        match &self.index {
+            Some(idx) => {
+                idx.candidates_segment_mask(seg, words);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Existence scan along `seg` (see
+    /// [`SpatialIndex::scan_segment_until`]): streams candidate indices
+    /// to `test` (duplicates possible) until it returns `true`; the
+    /// return value says whether it did. `None` when no spatial index is
+    /// built — the caller must fall back to a full scan.
+    pub fn ray_scan_until(&self, seg: Segment, test: impl FnMut(u32) -> bool) -> Option<bool> {
+        self.index
+            .as_ref()
+            .map(|idx| idx.scan_segment_until(seg, test))
+    }
+
+    /// Collects (ascending) the indices of every building containing
+    /// `p` into `out`, reusing it as scratch.
+    pub fn buildings_containing_into(&self, p: Point, out: &mut Vec<u32>) {
+        out.clear();
+        match &self.index {
+            Some(idx) => {
+                for &bi in idx.candidates_point(p) {
+                    if self.buildings[bi as usize].contains(p) {
+                        out.push(bi);
+                    }
+                }
+            }
+            None => {
+                for (bi, b) in self.buildings.iter().enumerate() {
+                    if b.contains(p) {
+                        out.push(bi as u32);
+                    }
+                }
+            }
+        }
     }
 
     /// Total road length, metres.
@@ -183,5 +333,50 @@ mod tests {
     fn area() {
         let m = simple_map();
         assert!((m.area_km2() - 0.01).abs() < 1e-12);
+    }
+
+    /// Strip the index (as external construction without `new` would)
+    /// and check every query agrees with the indexed fast path.
+    #[test]
+    fn indexed_queries_match_full_scan() {
+        let indexed = simple_map();
+        let plain = CampusMap {
+            bounds: indexed.bounds,
+            buildings: indexed.buildings.clone(),
+            roads: indexed.roads.clone(),
+            index: None,
+        };
+        assert!(indexed.spatial_index().is_some());
+        assert!(plain.spatial_index().is_none());
+        for k in 0..300u32 {
+            let a = Point::new((k as f64 * 7.3) % 100.0, (k as f64 * 13.7) % 100.0);
+            let b = Point::new((k as f64 * 31.1) % 100.0, (k as f64 * 3.9) % 100.0);
+            assert_eq!(indexed.is_indoor(a), plain.is_indoor(a));
+            assert_eq!(indexed.has_los(a, b), plain.has_los(a, b));
+            assert_eq!(indexed.trace(a, b), plain.trace(a, b));
+        }
+        let mut rebuilt = plain;
+        rebuilt.ensure_index();
+        assert!(rebuilt.spatial_index().is_some());
+        assert!(!rebuilt.has_los(Point::new(30.0, 50.0), Point::new(70.0, 50.0)));
+    }
+
+    #[test]
+    fn for_buildings_near_segment_visits_blockers() {
+        let m = simple_map();
+        let seg = Segment::new(Point::new(30.0, 50.0), Point::new(70.0, 50.0));
+        let mut cand = Vec::new();
+        let mut hit = 0;
+        let visited = m.for_buildings_near_segment(seg, &mut cand, |b| {
+            if b.blocks(seg) {
+                hit += 1;
+            }
+        });
+        assert_eq!(hit, 1);
+        assert!(visited <= m.buildings.len());
+        // A far-away ray prunes everything.
+        let far = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let visited = m.for_buildings_near_segment(far, &mut cand, |_| {});
+        assert_eq!(visited, 0);
     }
 }

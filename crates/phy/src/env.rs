@@ -9,12 +9,14 @@
 use crate::carrier::Tech;
 use crate::cell::CellPhy;
 use crate::mcs;
-use crate::pathloss::{PropagationParams, ShadowingField};
+use crate::pathloss::{PropagationParams, ShadowGrid, ShadowingField};
 use crate::penetration::wall_loss;
+use fiveg_geo::building::Material;
 use fiveg_geo::point::Segment;
 use fiveg_geo::{Campus, CampusMap, Point};
 use fiveg_simcore::{BitRate, Db, Dbm};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Service threshold: below this RSRP the network cannot sustain a
 /// connection (paper Sec. 3.1, citing Rel-15 TS 36.211: "if the RSRP is
@@ -59,6 +61,169 @@ pub struct KpiSample {
     pub in_service: bool,
 }
 
+/// Slot of a material in the per-cell wall-loss table; must mirror
+/// [`Material::ALL`] order (asserted in tests).
+fn mat_slot(m: Material) -> usize {
+    match m {
+        Material::Brick => 0,
+        Material::Concrete => 1,
+        Material::Drywall => 2,
+        Material::Wood => 3,
+        Material::Glass => 4,
+    }
+}
+
+/// One mast location, shared by every co-sited sector — and by both
+/// RATs when the deployment co-sites them (the paper's NSA gNBs stand
+/// on eNB towers). All ray geometry (blockage, wall count, UE-building
+/// material, ground distance, azimuth) depends only on `(pos, ue)`, so
+/// it is computed once per site per sample instead of once per cell.
+#[derive(Debug, Clone)]
+struct SiteGeom {
+    pos: Point,
+    /// Bitmap of buildings containing the mast position (the rooftop
+    /// "own building does not obstruct" rule); word layout matches the
+    /// spatial index's candidate masks.
+    mast_mask: Vec<u64>,
+}
+
+/// A run of same-technology cells sharing one site and identical
+/// propagation invariants (height, carrier-derived pathloss constants,
+/// vertical pattern). Per sample, the distance/median-loss/vertical
+/// terms are computed once per group; members differ only in sector
+/// azimuth, shadowing field and per-carrier wall/EIRP tables.
+#[derive(Debug, Clone)]
+struct TechGroup {
+    site: usize,
+    height_m: f64,
+    pl0_db: f64,
+    clutter_db_per_100m: f64,
+    vertical: crate::antenna::VerticalPattern,
+    /// `(position in the tech's cell list, cell index)` per member.
+    members: Vec<(u32, u32)>,
+}
+
+impl TechGroup {
+    /// Whether a cell with these invariants belongs to this group (bit
+    /// equality — grouping must never merge almost-equal parameters).
+    fn matches(
+        &self,
+        site: usize,
+        height_m: f64,
+        cache: &CellCache,
+        v: &crate::antenna::VerticalPattern,
+    ) -> bool {
+        self.site == site
+            && self.height_m.to_bits() == height_m.to_bits()
+            && self.pl0_db.to_bits() == cache.pl0_db.to_bits()
+            && self.clutter_db_per_100m.to_bits() == cache.clutter_db_per_100m.to_bits()
+            && self.vertical.tilt_deg.to_bits() == v.tilt_deg.to_bits()
+            && self.vertical.beamwidth_deg.to_bits() == v.beamwidth_deg.to_bits()
+            && self.vertical.max_attenuation_db.to_bits() == v.max_attenuation_db.to_bits()
+    }
+}
+
+/// Cached ray geometry from one site to the current UE position.
+#[derive(Debug, Default, Clone, Copy)]
+struct RaySite {
+    computed: bool,
+    blocked: bool,
+    /// Exterior walls of the UE's building on this ray (0 if outdoor).
+    walls_ue: u32,
+    /// Material of the UE's building, if indoors.
+    mat: Option<Material>,
+    /// Ground distance mast → UE.
+    d2: f64,
+    /// Azimuth mast → UE, degrees (unused when `d2 < 1`).
+    az_deg: f64,
+}
+
+/// Per-cell invariants hoisted out of the per-sample hot loop. Every
+/// value is exactly what the corresponding per-call expression computed,
+/// so cached and uncached paths are bit-identical.
+#[derive(Debug, Clone)]
+struct CellCache {
+    /// `tx_power_per_re + ref_signal_gain_db`, dBm.
+    eirp_dbm: f64,
+    /// Thermal noise per RE at this cell's carrier, linear mW.
+    noise_mw: f64,
+    /// `PL0(f)` of the propagation model at this cell's carrier, dB.
+    pl0_db: f64,
+    /// Street-clutter slope at this cell's carrier, dB per 100 m.
+    clutter_db_per_100m: f64,
+    /// Wall penetration loss per material at this carrier, dB
+    /// ([`Material::ALL`] order).
+    wall_db: [f64; 5],
+}
+
+/// Reusable buffers + deterministic work counters for the allocation-free
+/// measurement fast path ([`RadioEnv::measure_all_into`]).
+///
+/// Counters are flushed to the ambient `fiveg-obs` scope on [`Drop`] (or
+/// an explicit [`MeasureScratch::flush`]), following the same Drop-flush
+/// pattern as the net-layer simulator, so per-job manifests pick up
+/// `phy.rays.traced` / `phy.buildings.pruned` / `phy.scratch.reuse`
+/// without any plumbing through call sites.
+#[derive(Debug, Default)]
+pub struct MeasureScratch {
+    rsrp_dbm: Vec<Dbm>,
+    rsrp_mw: Vec<f64>,
+    /// Ground distance per cell (same order as the tech's cell list).
+    d2s: Vec<f64>,
+    /// Already-tested bitmap words for the current ray.
+    words: Vec<u64>,
+    /// Buildings containing the current UE position (ascending).
+    ue_hits: Vec<u32>,
+    /// UE position the ray cache below is valid for.
+    ray_ue: Option<(u64, u64)>,
+    /// Per-site ray geometry for the current UE. Persists across the
+    /// per-technology calls of one sample, so co-sited NR cells reuse
+    /// the rays the LTE call already traced.
+    ray_sites: Vec<RaySite>,
+    out: Vec<CellMeasurement>,
+    used: bool,
+    stats: ScratchStats,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ScratchStats {
+    samples: u64,
+    rays: u64,
+    pruned: u64,
+    reuses: u64,
+}
+
+impl MeasureScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        MeasureScratch::default()
+    }
+
+    /// Flushes accumulated work counters to the current `fiveg-obs`
+    /// scope; a no-op when no metrics handle is installed.
+    pub fn flush(&mut self) {
+        let s = std::mem::take(&mut self.stats);
+        if s.samples > 0 {
+            fiveg_obs::counter_add("phy.measure.samples", s.samples);
+        }
+        if s.rays > 0 {
+            fiveg_obs::counter_add("phy.rays.traced", s.rays);
+        }
+        if s.pruned > 0 {
+            fiveg_obs::counter_add("phy.buildings.pruned", s.pruned);
+        }
+        if s.reuses > 0 {
+            fiveg_obs::counter_add("phy.scratch.reuse", s.reuses);
+        }
+    }
+}
+
+impl Drop for MeasureScratch {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// The radio environment.
 #[derive(Debug, Clone)]
 pub struct RadioEnv {
@@ -69,20 +234,139 @@ pub struct RadioEnv {
     /// Propagation parameters.
     pub params: PropagationParams,
     shadowing: Vec<ShadowingField>,
+    /// Precomputed lattice Gaussians per shadowing field, covering the
+    /// campus bounds (plus a margin); same order as `cells`.
+    shadow_grids: Vec<ShadowGrid>,
+    /// Unique mast locations (by bit-equal position).
+    sites: Vec<SiteGeom>,
+    /// Site-sharing cell groups per technology (`[Lte, Nr]`).
+    groups: [Vec<TechGroup>; 2],
+    /// Hoisted per-cell invariants, same order as `cells`.
+    cache: Vec<CellCache>,
+    /// Cell indices per technology (`[Lte, Nr]`), ascending.
+    by_tech: [Vec<usize>; 2],
+    /// First cell index per PCI.
+    pci_index: BTreeMap<u16, usize>,
+}
+
+fn tech_slot(tech: Tech) -> usize {
+    match tech {
+        Tech::Lte => 0,
+        Tech::Nr => 1,
+    }
 }
 
 impl RadioEnv {
     /// Builds an environment from explicit cells.
+    ///
+    /// Per-cell invariants (EIRP, noise, clutter and wall-loss tables)
+    /// are precomputed here; `cells` and `params` must not be mutated
+    /// afterwards or the caches go stale.
     pub fn new(map: CampusMap, cells: Vec<CellPhy>, params: PropagationParams, seed: u64) -> Self {
-        let shadowing = cells
+        let mut map = map;
+        map.ensure_index();
+        let shadowing: Vec<ShadowingField> = cells
             .iter()
             .map(|c| ShadowingField::new(seed ^ (c.pci as u64).wrapping_mul(0x9e37_79b9)))
             .collect();
+        // Evaluating one shadowing query costs four lattice Gaussians
+        // (two hashes + ln/sqrt/cos each); pre-evaluating the lattice
+        // over the campus (plus a walk-off margin) replaces that with
+        // loads. The cached values ARE the gaussian_at outputs, so fast
+        // and naive paths stay bit-identical.
+        const SHADOW_MARGIN_M: f64 = 200.0;
+        let shadow_grids = shadowing
+            .iter()
+            .map(|f| {
+                f.grid_for(
+                    map.bounds.min.x - SHADOW_MARGIN_M,
+                    map.bounds.min.y - SHADOW_MARGIN_M,
+                    map.bounds.max.x + SHADOW_MARGIN_M,
+                    map.bounds.max.y + SHADOW_MARGIN_M,
+                )
+            })
+            .collect();
+        let cache: Vec<CellCache> = cells
+            .iter()
+            .map(|c| {
+                let f = c.carrier.freq;
+                let mut wall_db = [0.0; 5];
+                for &m in &Material::ALL {
+                    wall_db[mat_slot(m)] = wall_loss(m, f).value();
+                }
+                CellCache {
+                    eirp_dbm: (c.carrier.tx_power_per_re() + Db::new(c.carrier.ref_signal_gain_db))
+                        .value(),
+                    noise_mw: c.carrier.noise_per_re().to_milliwatts().milliwatts(),
+                    pl0_db: params.pl0_db(f),
+                    clutter_db_per_100m: params.clutter_per_100m(f),
+                    wall_db,
+                }
+            })
+            .collect();
+        let wpc = map
+            .spatial_index()
+            .map(|i| i.mask_words())
+            .unwrap_or_else(|| map.buildings.len().div_ceil(64).max(1));
+        let mut hits = Vec::new();
+        let mut sites: Vec<SiteGeom> = Vec::new();
+        let mut site_of = vec![0usize; cells.len()];
+        for (i, c) in cells.iter().enumerate() {
+            let key = (c.pos.x.to_bits(), c.pos.y.to_bits());
+            site_of[i] = sites
+                .iter()
+                .position(|s| (s.pos.x.to_bits(), s.pos.y.to_bits()) == key)
+                .unwrap_or_else(|| {
+                    let mut m = vec![0u64; wpc];
+                    map.buildings_containing_into(c.pos, &mut hits);
+                    for &bi in &hits {
+                        m[bi as usize / 64] |= 1u64 << (bi % 64);
+                    }
+                    sites.push(SiteGeom {
+                        pos: c.pos,
+                        mast_mask: m,
+                    });
+                    sites.len() - 1
+                });
+        }
+        let mut by_tech: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        let mut pci_index = BTreeMap::new();
+        for (i, c) in cells.iter().enumerate() {
+            by_tech[tech_slot(c.tech())].push(i);
+            pci_index.entry(c.pci).or_insert(i);
+        }
+        let mut groups: [Vec<TechGroup>; 2] = [Vec::new(), Vec::new()];
+        for (t, idxs) in by_tech.iter().enumerate() {
+            for (k, &i) in idxs.iter().enumerate() {
+                let c = &cells[i];
+                let member = (k as u32, i as u32);
+                match groups[t]
+                    .iter_mut()
+                    .find(|g| g.matches(site_of[i], c.height_m, &cache[i], &c.vertical))
+                {
+                    Some(g) => g.members.push(member),
+                    None => groups[t].push(TechGroup {
+                        site: site_of[i],
+                        height_m: c.height_m,
+                        pl0_db: cache[i].pl0_db,
+                        clutter_db_per_100m: cache[i].clutter_db_per_100m,
+                        vertical: c.vertical,
+                        members: vec![member],
+                    }),
+                }
+            }
+        }
         RadioEnv {
             map,
             cells,
             params,
             shadowing,
+            shadow_grids,
+            sites,
+            groups,
+            cache,
+            by_tech,
+            pci_index,
         }
     }
 
@@ -135,16 +419,19 @@ impl RadioEnv {
 
     /// Number of cells of a technology.
     pub fn num_cells(&self, tech: Tech) -> usize {
-        self.cells.iter().filter(|c| c.tech() == tech).count()
+        self.by_tech[tech_slot(tech)].len()
     }
 
-    /// Index of the cell with the given PCI.
+    /// Index of the cell with the given PCI (first match, as deployed).
     pub fn cell_index(&self, pci: u16) -> Option<usize> {
-        self.cells.iter().position(|c| c.pci == pci)
+        self.pci_index.get(&pci).copied()
     }
 
     /// Total propagation loss (path loss + antenna + walls + shadowing)
-    /// from cell `idx` to `ue`.
+    /// from cell `idx` to `ue` — reference implementation scanning every
+    /// building. The fast path ([`RadioEnv::measure_all_into`]) computes
+    /// the same value through the spatial index and the per-cell caches;
+    /// equivalence tests hold the two bit-identical.
     fn total_loss_db(&self, idx: usize, ue: Point) -> Db {
         let cell = &self.cells[idx];
         let f = cell.carrier.freq;
@@ -193,6 +480,90 @@ impl RadioEnv {
         Db::new(loss)
     }
 
+    /// Traces the ray geometry from site `si` to `ue` — identical logic
+    /// to the building loop of [`RadioEnv::total_loss_db`], restructured
+    /// around what that loop actually produces: a single `blocked` bit
+    /// plus the UE building's material and wall count. `ue_hits` (the
+    /// buildings containing the UE, hoisted to once per sample) supplies
+    /// the UE-building term, so the candidate scan can stop at the first
+    /// wall crossing; candidates stream straight off the spatial-index
+    /// grid walk, and a blocked ray (the common case) touches only a
+    /// grid cell or two. Only provably-unused work is skipped, keeping
+    /// every derived value bit-identical to the reference.
+    fn trace_site(
+        &self,
+        si: usize,
+        ue: Point,
+        words: &mut Vec<u64>,
+        ue_hits: &[u32],
+        stats: &mut ScratchStats,
+    ) -> RaySite {
+        let site = &self.sites[si];
+        let seg = Segment::new(site.pos, ue);
+        let mast = &site.mast_mask;
+
+        // Last (ascending) building containing the UE that does not also
+        // contain the mast — the "last containing building wins" rule.
+        let mut ue_b = None;
+        for &bi in ue_hits {
+            if mast[bi as usize / 64] & (1u64 << (bi % 64)) == 0 {
+                ue_b = Some(bi);
+            }
+        }
+
+        let mut blocked = ue_b.is_some();
+        let mut walls_ue = 0u32;
+        let mut mat = None;
+        let mut visited = 0usize;
+        if let Some(bi) = ue_b {
+            let b = &self.map.buildings[bi as usize];
+            visited += 1;
+            walls_ue = b.wall_crossings(seg).max(1) as u32;
+            mat = Some(b.material);
+        } else {
+            // An indoor UE already decides `blocked`. `words` doubles as
+            // an already-tested bitmap so a footprint spanning several
+            // grid cells is tested once, like the reference scan.
+            words.clear();
+            words.resize(mast.len(), 0);
+            let scanned = self.map.ray_scan_until(seg, |bi| {
+                let (w, bit) = (bi as usize / 64, 1u64 << (bi % 64));
+                if (mast[w] | words[w]) & bit != 0 {
+                    return false;
+                }
+                words[w] |= bit;
+                visited += 1;
+                self.map.buildings[bi as usize].wall_crossings(seg) > 0
+            });
+            match scanned {
+                Some(hit) => blocked = hit,
+                None => {
+                    // No spatial index (deserialized map): full scan.
+                    for (bi, b) in self.map.buildings.iter().enumerate() {
+                        if mast[bi / 64] & (1u64 << (bi % 64)) != 0 {
+                            continue;
+                        }
+                        visited += 1;
+                        if b.wall_crossings(seg) > 0 {
+                            blocked = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        stats.rays += 1;
+        stats.pruned += (self.map.buildings.len() - visited) as u64;
+        RaySite {
+            computed: true,
+            blocked,
+            walls_ue,
+            mat,
+            d2: site.pos.distance(ue),
+            az_deg: site.pos.azimuth_to(ue),
+        }
+    }
+
     /// RSRP of cell `idx` at `ue`.
     pub fn rsrp(&self, idx: usize, ue: Point) -> Dbm {
         let cell = &self.cells[idx];
@@ -202,7 +573,156 @@ impl RadioEnv {
 
     /// Measures every cell of `tech` at `ue`, with mutual co-channel
     /// interference, sorted by descending RSRP.
+    ///
+    /// Thin wrapper over [`RadioEnv::measure_all_into`]; hot callers
+    /// should hold a [`MeasureScratch`] and use the `_into` form to skip
+    /// the per-call allocations.
     pub fn measure_all(&self, ue: Point, tech: Tech) -> Vec<CellMeasurement> {
+        let mut scratch = MeasureScratch::new();
+        self.measure_all_into(ue, tech, &mut scratch);
+        std::mem::take(&mut scratch.out)
+    }
+
+    /// Allocation-free [`RadioEnv::measure_all`]: fills and returns
+    /// `scratch.out` (sorted by descending RSRP), reusing the scratch
+    /// buffers across calls.
+    pub fn measure_all_into<'a>(
+        &self,
+        ue: Point,
+        tech: Tech,
+        scratch: &'a mut MeasureScratch,
+    ) -> &'a [CellMeasurement] {
+        if scratch.used {
+            scratch.stats.reuses += 1;
+        } else {
+            scratch.used = true;
+        }
+        scratch.stats.samples += 1;
+        scratch.out.clear();
+        let idxs: &[usize] = &self.by_tech[tech_slot(tech)];
+        if idxs.is_empty() {
+            return &scratch.out;
+        }
+        // The ray cache is keyed on the UE position: the per-technology
+        // calls of one sample share it, so co-sited NR cells reuse rays
+        // the LTE call already traced. The UE-building lookup is equally
+        // ray-invariant and hoisted with it.
+        let ue_bits = (ue.x.to_bits(), ue.y.to_bits());
+        if scratch.ray_ue != Some(ue_bits) {
+            scratch.ray_ue = Some(ue_bits);
+            scratch.ray_sites.clear();
+            scratch
+                .ray_sites
+                .resize(self.sites.len(), RaySite::default());
+            self.map.buildings_containing_into(ue, &mut scratch.ue_hits);
+        }
+        let n = idxs.len();
+        scratch.rsrp_dbm.clear();
+        scratch.rsrp_dbm.resize(n, Dbm::new(0.0));
+        scratch.rsrp_mw.clear();
+        scratch.rsrp_mw.resize(n, 0.0);
+        scratch.d2s.clear();
+        scratch.d2s.resize(n, 0.0);
+        for g in &self.groups[tech_slot(tech)] {
+            if !scratch.ray_sites[g.site].computed {
+                scratch.ray_sites[g.site] = self.trace_site(
+                    g.site,
+                    ue,
+                    &mut scratch.words,
+                    &scratch.ue_hits,
+                    &mut scratch.stats,
+                );
+            }
+            let rs = scratch.ray_sites[g.site];
+            // Group-invariant terms, same expressions as the reference:
+            // 3-D distance, LoS/NLoS median, vertical-pattern loss.
+            let dh = g.height_m - 1.5;
+            let d3 = (rs.d2 * rs.d2 + dh * dh).sqrt();
+            let (median, sigma) = if !rs.blocked {
+                (
+                    self.params
+                        .loss_los_from(g.pl0_db, g.clutter_db_per_100m, d3),
+                    self.params.shadow_sigma_los,
+                )
+            } else {
+                (
+                    self.params
+                        .loss_nlos_from(g.pl0_db, g.clutter_db_per_100m, d3),
+                    self.params.shadow_sigma_nlos,
+                )
+            };
+            let vert = g.vertical.attenuation_db(rs.d2, g.height_m);
+            for &(k, i) in &g.members {
+                let (k, i) = (k as usize, i as usize);
+                let ant = if rs.d2 < 1.0 {
+                    0.0
+                } else {
+                    self.cells[i].antenna.attenuation_db(rs.az_deg)
+                };
+                let mut loss = median + ant + vert;
+                if let Some(m) = rs.mat {
+                    loss += self.cache[i].wall_db[mat_slot(m)] * rs.walls_ue as f64;
+                }
+                loss += self.shadowing[i]
+                    .value_db_cached(ue.x, ue.y, sigma, &self.shadow_grids[i])
+                    .value();
+                let dbm = Dbm::new(self.cache[i].eirp_dbm - loss);
+                scratch.rsrp_dbm[k] = dbm;
+                scratch.rsrp_mw[k] = dbm.to_milliwatts().milliwatts();
+                scratch.d2s[k] = rs.d2;
+            }
+        }
+        let noise_mw = self.cache[idxs[0]].noise_mw;
+
+        // RSSI is ONE wideband quantity at the UE: the sum of every
+        // co-channel cell's received power weighted by its airtime
+        // activity, floored at the always-on reference-signal overhead
+        // (≈20 % of REs), plus noise. Sharing the denominator is what
+        // makes RSRQ discriminate between cells — RSRQ gaps equal RSRP
+        // gaps, as the A3 hand-off rule relies on.
+        const RS_ACTIVITY_FLOOR: f64 = 0.2;
+        let rssi_per_re: f64 = idxs
+            .iter()
+            .enumerate()
+            .map(|(k2, &i2)| scratch.rsrp_mw[k2] * self.cells[i2].load.max(RS_ACTIVITY_FLOOR))
+            .sum::<f64>()
+            + noise_mw;
+        // Data-plane SINR: interference from *loaded* REs of the other
+        // cells only (data REs dodge the RS collisions). Computing the
+        // loaded total once and subtracting each cell's own term turns
+        // the old O(cells²) skip-sum into O(cells).
+        let total_loaded: f64 = idxs
+            .iter()
+            .enumerate()
+            .map(|(k2, &i2)| scratch.rsrp_mw[k2] * self.cells[i2].load)
+            .sum();
+        for (k, &i) in idxs.iter().enumerate() {
+            let interference = total_loaded - scratch.rsrp_mw[k] * self.cells[i].load;
+            let sinr = Db::from_linear((scratch.rsrp_mw[k] / (interference + noise_mw)).max(1e-12));
+            let rsrq = Db::from_linear((scratch.rsrp_mw[k] / (12.0 * rssi_per_re)).max(1e-12));
+            scratch.out.push(CellMeasurement {
+                pci: self.cells[i].pci,
+                tech,
+                rsrp: scratch.rsrp_dbm[k],
+                rsrq,
+                sinr,
+                distance_m: scratch.d2s[k],
+            });
+        }
+        // total_cmp: a NaN RSRP from a pathological parameter set sorts
+        // deterministically instead of panicking mid-campaign.
+        scratch
+            .out
+            .sort_by(|a, b| b.rsrp.value().total_cmp(&a.rsrp.value()));
+        &scratch.out
+    }
+
+    /// Reference implementation of [`RadioEnv::measure_all`]: full
+    /// building scans, no hoisted tables, fresh allocations — the
+    /// equivalence property tests hold the fast path bit-identical to
+    /// this. Not for production use.
+    #[doc(hidden)]
+    pub fn measure_all_naive(&self, ue: Point, tech: Tech) -> Vec<CellMeasurement> {
         let idxs: Vec<usize> = (0..self.cells.len())
             .filter(|&i| self.cells[i].tech() == tech)
             .collect();
@@ -219,13 +739,6 @@ impl RadioEnv {
             .noise_per_re()
             .to_milliwatts()
             .milliwatts();
-
-        // RSSI is ONE wideband quantity at the UE: the sum of every
-        // co-channel cell's received power weighted by its airtime
-        // activity, floored at the always-on reference-signal overhead
-        // (≈20 % of REs), plus noise. Sharing the denominator is what
-        // makes RSRQ discriminate between cells — RSRQ gaps equal RSRP
-        // gaps, as the A3 hand-off rule relies on.
         const RS_ACTIVITY_FLOOR: f64 = 0.2;
         let rssi_per_re: f64 = idxs
             .iter()
@@ -233,18 +746,16 @@ impl RadioEnv {
             .map(|(k2, &i2)| rsrp_mw[k2] * self.cells[i2].load.max(RS_ACTIVITY_FLOOR))
             .sum::<f64>()
             + noise_mw;
+        let total_loaded: f64 = idxs
+            .iter()
+            .enumerate()
+            .map(|(k2, &i2)| rsrp_mw[k2] * self.cells[i2].load)
+            .sum();
         let mut out: Vec<CellMeasurement> = idxs
             .iter()
             .enumerate()
             .map(|(k, &i)| {
-                // Data-plane SINR: interference from *loaded* REs of the
-                // other cells only (data REs dodge the RS collisions).
-                let interference: f64 = idxs
-                    .iter()
-                    .enumerate()
-                    .filter(|&(k2, _)| k2 != k)
-                    .map(|(k2, &i2)| rsrp_mw[k2] * self.cells[i2].load)
-                    .sum();
+                let interference = total_loaded - rsrp_mw[k] * self.cells[i].load;
                 let sinr = Db::from_linear((rsrp_mw[k] / (interference + noise_mw)).max(1e-12));
                 let rsrq = Db::from_linear((rsrp_mw[k] / (12.0 * rssi_per_re)).max(1e-12));
                 CellMeasurement {
@@ -257,23 +768,46 @@ impl RadioEnv {
                 }
             })
             .collect();
-        out.sort_by(|a, b| b.rsrp.partial_cmp(&a.rsrp).expect("RSRP is finite"));
+        out.sort_by(|a, b| b.rsrp.value().total_cmp(&a.rsrp.value()));
         out
     }
 
     /// The strongest cell of `tech` at `ue`, if any exist.
     pub fn serving(&self, ue: Point, tech: Tech) -> Option<CellMeasurement> {
-        self.measure_all(ue, tech).into_iter().next()
+        let mut scratch = MeasureScratch::new();
+        self.serving_into(ue, tech, &mut scratch)
+    }
+
+    /// Allocation-free [`RadioEnv::serving`].
+    pub fn serving_into(
+        &self,
+        ue: Point,
+        tech: Tech,
+        scratch: &mut MeasureScratch,
+    ) -> Option<CellMeasurement> {
+        self.measure_all_into(ue, tech, scratch).first().copied()
     }
 
     /// Measurement of one specific cell (by PCI) including interference
     /// from its co-channel neighbours — used when the UE is locked to a
     /// cell (the paper's Sec. 3.2 frequency-lock experiment).
     pub fn measure_pci(&self, ue: Point, pci: u16) -> Option<CellMeasurement> {
+        let mut scratch = MeasureScratch::new();
+        self.measure_pci_into(ue, pci, &mut scratch)
+    }
+
+    /// Allocation-free [`RadioEnv::measure_pci`].
+    pub fn measure_pci_into(
+        &self,
+        ue: Point,
+        pci: u16,
+        scratch: &mut MeasureScratch,
+    ) -> Option<CellMeasurement> {
         let tech = self.cells[self.cell_index(pci)?].tech();
-        self.measure_all(ue, tech)
-            .into_iter()
+        self.measure_all_into(ue, tech, scratch)
+            .iter()
             .find(|m| m.pci == pci)
+            .copied()
     }
 
     /// Full KPI sample of the serving cell at `ue`.
@@ -282,7 +816,19 @@ impl RadioEnv {
     /// (the paper observed ≈1.0 for the empty 5G network and 0.4–1.0 for
     /// 4G depending on time of day).
     pub fn kpi_sample(&self, ue: Point, tech: Tech, prb_fraction: f64) -> Option<KpiSample> {
-        let serving = self.serving(ue, tech)?;
+        let mut scratch = MeasureScratch::new();
+        self.kpi_sample_into(ue, tech, prb_fraction, &mut scratch)
+    }
+
+    /// Allocation-free [`RadioEnv::kpi_sample`].
+    pub fn kpi_sample_into(
+        &self,
+        ue: Point,
+        tech: Tech,
+        prb_fraction: f64,
+        scratch: &mut MeasureScratch,
+    ) -> Option<KpiSample> {
+        let serving = self.serving_into(ue, tech, scratch)?;
         Some(self.kpi_for(serving, ue, prb_fraction))
     }
 
@@ -438,5 +984,84 @@ mod tests {
         let m = e.measure_pci(ue, 60).unwrap();
         assert_eq!(m.pci, 60);
         assert!(e.measure_pci(ue, 9999).is_none());
+    }
+
+    /// The spatial-indexed, table-driven fast path must be bit-identical
+    /// to the naive full-scan reference — not merely close: the golden
+    /// artifacts depend on exact bytes.
+    #[test]
+    fn fast_path_bit_identical_to_naive() {
+        let e = env();
+        let mut rng = SimRng::new(0xFA57);
+        let mut scratch = MeasureScratch::new();
+        for _ in 0..60 {
+            let ue = Point::new(rng.range_f64(-50.0, 1050.0), rng.range_f64(-50.0, 1050.0));
+            for tech in [Tech::Lte, Tech::Nr] {
+                let naive = e.measure_all_naive(ue, tech);
+                let fast = e.measure_all_into(ue, tech, &mut scratch);
+                assert_eq!(naive.len(), fast.len());
+                for (n, f) in naive.iter().zip(fast.iter()) {
+                    assert_eq!(n.pci, f.pci, "order diverged at {ue:?}");
+                    assert_eq!(n.rsrp.value().to_bits(), f.rsrp.value().to_bits());
+                    assert_eq!(n.rsrq.value().to_bits(), f.rsrq.value().to_bits());
+                    assert_eq!(n.sinr.value().to_bits(), f.sinr.value().to_bits());
+                    assert_eq!(n.distance_m.to_bits(), f.distance_m.to_bits());
+                }
+            }
+        }
+    }
+
+    /// A reused scratch returns the same measurements as fresh
+    /// allocations, and its Drop flushes the phy.* counters into the
+    /// ambient obs scope.
+    #[test]
+    fn scratch_reuse_matches_and_flushes_counters() {
+        let e = env();
+        let m = fiveg_obs::MetricsHandle::new();
+        fiveg_obs::scoped(&m, || {
+            let mut scratch = MeasureScratch::new();
+            for k in 0..5 {
+                let ue = Point::new(100.0 + 60.0 * k as f64, 300.0);
+                let fresh = e.measure_all(ue, Tech::Nr);
+                let reused = e.measure_all_into(ue, Tech::Nr, &mut scratch);
+                assert_eq!(fresh, reused);
+            }
+        });
+        let snap = m.snapshot();
+        // 5 reused calls + 5 wrapper-internal scratches = 10 samples,
+        // but only the persistent scratch records reuses (4 of them).
+        assert_eq!(snap.counters["phy.measure.samples"], 10);
+        assert_eq!(snap.counters["phy.scratch.reuse"], 4);
+        // Rays are traced per unique mast position, not per cell.
+        let nr_sites: std::collections::BTreeSet<(u64, u64)> = e
+            .cells
+            .iter()
+            .filter(|c| c.tech() == Tech::Nr)
+            .map(|c| (c.pos.x.to_bits(), c.pos.y.to_bits()))
+            .collect();
+        assert!(nr_sites.len() < e.num_cells(Tech::Nr), "sectors co-site");
+        assert_eq!(snap.counters["phy.rays.traced"], 10 * nr_sites.len() as u64);
+        assert!(snap.counters["phy.buildings.pruned"] > 0);
+    }
+
+    /// The RSRP sort uses `total_cmp`: a NaN from a pathological
+    /// parameter set sorts deterministically (positive NaN above +inf,
+    /// hence first in the descending order) instead of panicking
+    /// mid-campaign as the old `partial_cmp(..).expect(..)` did.
+    #[test]
+    fn nan_rsrp_sorts_deterministically_without_panic() {
+        let mk = |v: f64| CellMeasurement {
+            pci: 1,
+            tech: Tech::Nr,
+            rsrp: Dbm::new(v),
+            rsrq: Db::new(-10.0),
+            sinr: Db::new(0.0),
+            distance_m: 10.0,
+        };
+        let mut v = vec![mk(f64::NAN), mk(-80.0), mk(-120.0), mk(-60.0)];
+        v.sort_by(|a, b| b.rsrp.value().total_cmp(&a.rsrp.value()));
+        assert!(v[0].rsrp.value().is_nan());
+        assert_eq!(v[1].rsrp.value(), -60.0);
+        assert_eq!(v[3].rsrp.value(), -120.0);
     }
 }

@@ -88,25 +88,39 @@ impl PropagationParams {
         (self.clutter_per_100m_at_1ghz + self.clutter_slope_per_ghz * f.ghz()).max(1.0)
     }
 
+    /// Reference loss at `d0`: free-space loss plus the clutter offset.
+    /// Frequency-only, so per-cell callers hoist it out of the hot loop.
+    pub fn pl0_db(&self, f: Frequency) -> f64 {
+        free_space_db(self.d0_m, f).value() + self.clutter_offset_db
+    }
+
     /// Median (shadowing-free) LoS path loss at distance `d_m`.
     pub fn loss_los(&self, d_m: f64, f: Frequency) -> Db {
+        Db::new(self.loss_los_from(self.pl0_db(f), self.clutter_per_100m(f), d_m))
+    }
+
+    /// LoS loss from precomputed frequency terms (`pl0_db`,
+    /// `clutter_per_100m`); bit-identical to [`PropagationParams::loss_los`]
+    /// by construction — the dB expression is evaluated in the same order.
+    pub fn loss_los_from(&self, pl0: f64, clutter_per_100m: f64, d_m: f64) -> f64 {
         let d = d_m.max(self.d0_m);
-        let pl0 = free_space_db(self.d0_m, f).value() + self.clutter_offset_db;
-        Db::new(
-            pl0 + 10.0 * self.n_los * (d / self.d0_m).log10()
-                + self.clutter_per_100m(f) * d / 100.0,
-        )
+        pl0 + 10.0 * self.n_los * (d / self.d0_m).log10() + clutter_per_100m * d / 100.0
     }
 
     /// Median NLoS path loss at distance `d_m` (never below the LoS loss).
     pub fn loss_nlos(&self, d_m: f64, f: Frequency) -> Db {
+        Db::new(self.loss_nlos_from(self.pl0_db(f), self.clutter_per_100m(f), d_m))
+    }
+
+    /// NLoS loss from precomputed frequency terms; bit-identical to
+    /// [`PropagationParams::loss_nlos`] by construction.
+    pub fn loss_nlos_from(&self, pl0: f64, clutter_per_100m: f64, d_m: f64) -> f64 {
         let d = d_m.max(self.d0_m);
-        let pl0 = free_space_db(self.d0_m, f).value() + self.clutter_offset_db;
         let nlos = pl0
             + self.nlos_extra_db
             + 10.0 * self.n_nlos * (d / self.d0_m).log10()
-            + self.clutter_per_100m(f) * d / 100.0;
-        Db::new(nlos.max(self.loss_los(d_m, f).value()))
+            + clutter_per_100m * d / 100.0;
+        nlos.max(self.loss_los_from(pl0, clutter_per_100m, d_m))
     }
 }
 
@@ -180,6 +194,88 @@ impl ShadowingField {
     pub fn value_db(&self, x: f64, y: f64, sigma: f64) -> Db {
         Db::new(self.standard_value(x, y) * sigma)
     }
+
+    /// Precomputes every lattice Gaussian this field can need for
+    /// queries inside `[min_x, max_x] × [min_y, max_y]` (inclusive of
+    /// the +1 lattice corners bilinear interpolation reads). The cached
+    /// values are the exact `gaussian_at` outputs, so cached queries are
+    /// bit-identical to uncached ones.
+    pub fn grid_for(&self, min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> ShadowGrid {
+        let i0 = (min_x / self.grid_m).floor() as i64;
+        let j0 = (min_y / self.grid_m).floor() as i64;
+        let i1 = (max_x / self.grid_m).floor() as i64 + 1;
+        let j1 = (max_y / self.grid_m).floor() as i64 + 1;
+        let nx = (i1 - i0 + 1).max(1) as usize;
+        let ny = (j1 - j0 + 1).max(1) as usize;
+        let mut vals = Vec::with_capacity(nx * ny);
+        for j in 0..ny as i64 {
+            for i in 0..nx as i64 {
+                vals.push(self.gaussian_at(i0 + i, j0 + j));
+            }
+        }
+        ShadowGrid {
+            i0,
+            j0,
+            nx,
+            ny,
+            vals,
+        }
+    }
+
+    /// [`ShadowingField::value_db`] reading lattice Gaussians from a
+    /// [`ShadowGrid`] cache where possible (falling back to direct
+    /// evaluation outside it). Same arithmetic, same bits — the
+    /// Gaussian evaluation (two hashes, `ln`, `sqrt`, `cos` per corner)
+    /// dominates the query cost, and the cache replaces it with a load.
+    pub fn value_db_cached(&self, x: f64, y: f64, sigma: f64, grid: &ShadowGrid) -> Db {
+        let gx = x / self.grid_m;
+        let gy = y / self.grid_m;
+        let i0 = gx.floor() as i64;
+        let j0 = gy.floor() as i64;
+        let fx = gx - i0 as f64;
+        let fy = gy - j0 as f64;
+        let corner = |i: i64, j: i64| -> f64 {
+            match grid.get(i, j) {
+                Some(v) => v,
+                None => self.gaussian_at(i, j),
+            }
+        };
+        let v00 = corner(i0, j0);
+        let v10 = corner(i0 + 1, j0);
+        let v01 = corner(i0, j0 + 1);
+        let v11 = corner(i0 + 1, j0 + 1);
+        let w00 = (1.0 - fx) * (1.0 - fy);
+        let w10 = fx * (1.0 - fy);
+        let w01 = (1.0 - fx) * fy;
+        let w11 = fx * fy;
+        let norm = (w00 * w00 + w10 * w10 + w01 * w01 + w11 * w11).sqrt();
+        let v = (v00 * w00 + v10 * w10 + v01 * w01 + v11 * w11) / norm;
+        Db::new(v * sigma)
+    }
+}
+
+/// Dense cache of one [`ShadowingField`]'s lattice Gaussians over a
+/// rectangle (see [`ShadowingField::grid_for`]).
+#[derive(Debug, Clone)]
+pub struct ShadowGrid {
+    i0: i64,
+    j0: i64,
+    nx: usize,
+    ny: usize,
+    vals: Vec<f64>,
+}
+
+impl ShadowGrid {
+    /// Cached Gaussian at lattice point `(i, j)`, if inside the grid.
+    #[inline]
+    fn get(&self, i: i64, j: i64) -> Option<f64> {
+        let di = i - self.i0;
+        let dj = j - self.j0;
+        if di < 0 || dj < 0 || di >= self.nx as i64 || dj >= self.ny as i64 {
+            return None;
+        }
+        Some(self.vals[dj as usize * self.nx + di as usize])
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +340,30 @@ mod tests {
             f.standard_value(123.0, 456.0),
             g.standard_value(123.0, 456.0)
         );
+    }
+
+    /// The precomputed-lattice query must be bit-identical to the
+    /// hashing query, both inside the grid and through the out-of-range
+    /// fallback.
+    #[test]
+    fn shadow_grid_bit_identical_to_direct() {
+        let f = ShadowingField::new(0xD5);
+        let grid = f.grid_for(0.0, 0.0, 500.0, 920.0);
+        let mut k = 0u64;
+        for _ in 0..500 {
+            // Cheap LCG over a range straddling the grid edges.
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = -300.0 + (k >> 40) as f64 * (1100.0 / (1u64 << 24) as f64);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let y = -300.0 + (k >> 40) as f64 * (1500.0 / (1u64 << 24) as f64);
+            let direct = f.value_db(x, y, 7.0).value();
+            let cached = f.value_db_cached(x, y, 7.0, &grid).value();
+            assert_eq!(direct.to_bits(), cached.to_bits(), "at ({x}, {y})");
+        }
     }
 
     #[test]

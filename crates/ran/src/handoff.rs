@@ -19,7 +19,7 @@
 use crate::events::{A3Config, A3Tracker};
 use crate::signaling::HandoffProcedure;
 use fiveg_geo::mobility::MobilityTrace;
-use fiveg_phy::{RadioEnv, Tech};
+use fiveg_phy::{MeasureScratch, RadioEnv, Tech};
 use fiveg_simcore::{Db, Dbm, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -157,17 +157,21 @@ impl HandoffCampaign {
         let mut records: Vec<HandoffRecord> = Vec::new();
         let mut filled: Vec<bool> = Vec::new();
         let mut pending: Vec<PendingAfter> = Vec::new();
+        // Two persistent scratches (one per tech) keep the per-point
+        // measurement sweep allocation-free across the whole trace.
+        let mut s_lte = MeasureScratch::new();
+        let mut s_nr = MeasureScratch::new();
 
         for p in trace.iter() {
-            let lte = env.measure_all(p.pos, Tech::Lte);
-            let nr = env.measure_all(p.pos, Tech::Nr);
+            let lte = env.measure_all_into(p.pos, Tech::Lte, &mut s_lte);
+            let nr = env.measure_all_into(p.pos, Tech::Nr, &mut s_nr);
 
             // Resolve due "after" measurements.
             pending.retain(|task| {
                 if p.t < task.due {
                     return true;
                 }
-                let all = if task.tech == Tech::Lte { &lte } else { &nr };
+                let all = if task.tech == Tech::Lte { lte } else { nr };
                 if let Some(m) = all.iter().find(|m| m.pci == task.pci) {
                     records[task.record_idx].rsrq_after = m.rsrq;
                     filled[task.record_idx] = true;
