@@ -38,10 +38,23 @@ on_exit() {
 trap on_exit EXIT
 
 # vendor/ holds offline subsets of external crates and keeps upstream
-# formatting; everything we author is held to rustfmt.
+# formatting; everything we author is held to rustfmt. Lint fixtures
+# are deliberate hazard snippets, checked by the lint self-test below
+# rather than by rustfmt.
 stage "rustfmt --check (workspace)"
-find crates tests examples -name '*.rs' -print0 \
+find crates tests examples -name '*.rs' -not -path '*/fixtures/*' -print0 \
   | xargs -0 rustfmt --edition 2021 --check
+
+# Determinism linter, before anything expensive: no *new* D001-D005 /
+# U001 findings beyond golden/lint-baseline.json. On failure fiveg-lint
+# names the rule id with the most new findings and the pragma to use.
+stage "fiveg-lint --check (determinism invariants)"
+cargo run --release -q -p fiveg-lint -- --check
+
+# The linter's own fixture suite: known-positive/known-negative
+# snippets must keep matching their inline expectation markers.
+stage "lint self-test (fixture suite)"
+cargo run --release -q -p fiveg-lint -- --self-test
 
 stage "cargo clippy --workspace"
 cargo clippy --release --workspace -- -D warnings
@@ -49,7 +62,10 @@ cargo clippy --release --workspace -- -D warnings
 stage "cargo build --release"
 cargo build --release --workspace
 
-stage "cargo test"
+# Debug-profile tests: [profile.test] keeps debug-assertions on, so the
+# debug_assert! invariants in fiveg-phy / fiveg-simcore actually
+# execute here (a --release test run would compile most of them out).
+stage "cargo test (debug profile, debug_assert! active)"
 cargo test -q --workspace
 
 stage "golden smoke: repro --only table1 --check"

@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
                 9,
                 SimDuration::from_secs(30),
             ))
-        })
+        });
     });
     g.bench_function("fig18_4k_session_5s", |b| {
         b.iter(|| {
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
             };
             let path = PathConfig::paper(&PaperPathParams::nr_ul(), Direction::Uplink);
             black_box(session.run(path, None, 11))
-        })
+        });
     });
     g.finish();
     println!("{}", application::fig16(Fidelity::Quick, 1).to_text());

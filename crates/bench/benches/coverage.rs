@@ -12,19 +12,19 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("coverage");
     g.sample_size(10);
     g.bench_function("table1_road_survey", |b| {
-        b.iter(|| black_box(coverage::table1(&sc)))
+        b.iter(|| black_box(coverage::table1(&sc)));
     });
     g.bench_function("table2_rsrp_distribution", |b| {
-        b.iter(|| black_box(coverage::table2(&sc, 1000)))
+        b.iter(|| black_box(coverage::table2(&sc, 1000)));
     });
     g.bench_function("fig2a_rsrp_map", |b| {
-        b.iter(|| black_box(coverage::fig2a(&sc, 40.0)))
+        b.iter(|| black_box(coverage::fig2a(&sc, 40.0)));
     });
     g.bench_function("fig2b_cell_contour", |b| {
-        b.iter(|| black_box(coverage::fig2b(&sc)))
+        b.iter(|| black_box(coverage::fig2b(&sc)));
     });
     g.bench_function("fig3_indoor_outdoor", |b| {
-        b.iter(|| black_box(coverage::fig3(&sc)))
+        b.iter(|| black_box(coverage::fig3(&sc)));
     });
     g.finish();
     // Print the paper-vs-measured summary once.

@@ -8,16 +8,16 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("energy");
     g.bench_function("fig21_breakdowns", |b| {
-        b.iter(|| black_box(energy::fig21(60)))
+        b.iter(|| black_box(energy::fig21(60)));
     });
     g.bench_function("fig22_energy_per_bit", |b| {
-        b.iter(|| black_box(energy::fig22()))
+        b.iter(|| black_box(energy::fig22()));
     });
     g.bench_function("fig23_power_trace", |b| {
-        b.iter(|| black_box(energy::fig23()))
+        b.iter(|| black_box(energy::fig23()));
     });
     g.bench_function("table4_strategy_matrix", |b| {
-        b.iter(|| black_box(energy::table4()))
+        b.iter(|| black_box(energy::table4()));
     });
     g.finish();
     println!("{}", energy::fig21(60).to_text());

@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("handoff");
     g.sample_size(10);
     g.bench_function("fig4_rsrq_transect", |b| {
-        b.iter(|| black_box(handoff::fig4(&sc)))
+        b.iter(|| black_box(handoff::fig4(&sc)));
     });
     g.bench_function("fig5_fig6_campaign_1min", |b| {
         // One simulated minute of campaign per iteration.
@@ -25,10 +25,10 @@ fn bench(c: &mut Criterion) {
             let mut rng = sc.rng("bench-ho");
             let trace = rwp.generate(&sc.campus.map, &mut rng);
             black_box(fiveg_core::ran::HandoffCampaign::default().run(&sc.env, &trace, &mut rng))
-        })
+        });
     });
     g.bench_function("fig12_ho_throughput_drop", |b| {
-        b.iter(|| black_box(handoff::fig12(&sc, 1)))
+        b.iter(|| black_box(handoff::fig12(&sc, 1)));
     });
     g.finish();
     println!("{}", handoff::handoff_study(&sc, Fidelity::Quick).to_text());

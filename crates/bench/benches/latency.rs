@@ -8,13 +8,13 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("latency");
     g.bench_function("fig13_rtt_scatter", |b| {
-        b.iter(|| black_box(latency::fig13(Fidelity::Quick, 1)))
+        b.iter(|| black_box(latency::fig13(Fidelity::Quick, 1)));
     });
     g.bench_function("fig14_traceroute", |b| {
-        b.iter(|| black_box(latency::fig14(2, 30)))
+        b.iter(|| black_box(latency::fig14(2, 30)));
     });
     g.bench_function("fig15_rtt_vs_distance", |b| {
-        b.iter(|| black_box(latency::fig15(Fidelity::Quick, 3)))
+        b.iter(|| black_box(latency::fig15(Fidelity::Quick, 3)));
     });
     g.finish();
     println!("{}", latency::fig13(Fidelity::Paper, 1).to_text());

@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
                     .measure_all_into(black_box(ue), Tech::Nr, &mut scratch)
                     .len(),
             )
-        })
+        });
     });
     g.bench_function("measure_all_lte", |b| {
         let mut scratch = MeasureScratch::new();
@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
                     .measure_all_into(black_box(ue), Tech::Lte, &mut scratch)
                     .len(),
             )
-        })
+        });
     });
     g.bench_function("kpi_sample", |b| {
         let mut scratch = MeasureScratch::new();
@@ -38,12 +38,12 @@ fn bench(c: &mut Criterion) {
                 sc.env
                     .kpi_sample_into(black_box(ue), Tech::Nr, 1.0, &mut scratch),
             )
-        })
+        });
     });
     g.bench_function("campus_trace", |b| {
         let a = Point::new(20.0, 30.0);
         let z = Point::new(480.0, 890.0);
-        b.iter(|| black_box(sc.campus.map.trace(black_box(a), black_box(z))))
+        b.iter(|| black_box(sc.campus.map.trace(black_box(a), black_box(z))));
     });
     g.finish();
 }

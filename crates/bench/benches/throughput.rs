@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
                     3,
                     42,
                 ))
-            })
+            });
         });
     }
     g.bench_function("fig9_udp_probe_halfload_3s", |b| {
@@ -37,10 +37,10 @@ fn bench(c: &mut Criterion) {
                 fiveg_core::simcore::SimDuration::from_secs(3),
                 7,
             ))
-        })
+        });
     });
     g.bench_function("fig10_harq_10k_blocks", |b| {
-        b.iter(|| black_box(throughput::fig10(5, 10_000)))
+        b.iter(|| black_box(throughput::fig10(5, 10_000)));
     });
     g.finish();
     println!("{}", throughput::fig7(Fidelity::Quick, 42).to_text());

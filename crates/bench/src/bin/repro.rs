@@ -56,9 +56,7 @@ struct Cli {
 }
 
 fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {

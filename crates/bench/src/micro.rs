@@ -25,6 +25,7 @@ pub fn phy_sample_micro(seed: u64) -> MicroBench {
     let sc = Scenario::paper(seed);
     let grid = sc.campus.map.grid_samples(GRID_STEP_M, true);
     let m = MetricsHandle::new();
+    // fiveg-lint: allow(D003) -- microbench wall time; counters carry determinism
     let start = Instant::now();
     fiveg_obs::scoped(&m, || {
         let mut scratch = MeasureScratch::new();

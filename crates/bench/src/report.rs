@@ -197,14 +197,11 @@ pub fn compare_to_baseline(
         }
     }
     for (name, job) in &current.jobs {
-        let base = match base_jobs.get(name) {
-            Some(b) => b,
-            None => {
-                cmp.failures.push(format!(
-                    "job `{name}` not in baseline (re-bless golden/bench-baseline.json)"
-                ));
-                continue;
-            }
+        let Some(base) = base_jobs.get(name) else {
+            cmp.failures.push(format!(
+                "job `{name}` not in baseline (re-bless golden/bench-baseline.json)"
+            ));
+            continue;
         };
         let base_counters = base
             .get("counters")
@@ -259,14 +256,11 @@ pub fn compare_to_baseline(
                 }
             }
             for (name, row) in &current.micro {
-                let base = match base_micro.get(name) {
-                    Some(b) => b,
-                    None => {
-                        cmp.failures.push(format!(
-                            "micro `{name}` not in baseline (re-bless golden/bench-baseline.json)"
-                        ));
-                        continue;
-                    }
+                let Some(base) = base_micro.get(name) else {
+                    cmp.failures.push(format!(
+                        "micro `{name}` not in baseline (re-bless golden/bench-baseline.json)"
+                    ));
+                    continue;
                 };
                 let base_counters = base
                     .get("counters")

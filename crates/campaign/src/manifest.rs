@@ -164,7 +164,7 @@ mod tests {
         let ok = &m.jobs[0];
         assert_eq!(ok.status, "ok");
         assert_eq!(ok.artifact.as_deref(), Some("ok_job.json"));
-        assert_eq!(ok.json_hash.as_deref().map(|h| h.len()), Some(16));
+        assert_eq!(ok.json_hash.as_deref().map(str::len), Some(16));
         let perf = ok.perf.as_ref().expect("successful units carry perf");
         assert_eq!(perf.events, 0, "FnJob runs no event loop");
         let bad = &m.jobs[1];

@@ -330,7 +330,7 @@ impl Fig2b {
     /// Renders summary statistics.
     pub fn to_text(&self) -> String {
         let rates: Vec<f64> = self.samples.iter().map(|&(.., r)| r).collect();
-        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let max = rates.iter().copied().fold(0.0, f64::max);
         let served = rates.iter().filter(|&&r| r > 0.0).count();
         format!(
             "== Fig. 2b: cell {} bit-rate contour ==\n\

@@ -94,7 +94,7 @@ pub struct Fig22 {
 impl Fig22 {
     /// The long-transfer energy-per-bit ratio 5G / 4G.
     pub fn asymptotic_ratio(&self) -> f64 {
-        let last = |v: &[(f64, f64)]| v.last().map(|&(_, e)| e).unwrap_or(f64::NAN);
+        let last = |v: &[(f64, f64)]| v.last().map_or(f64::NAN, |&(_, e)| e);
         last(&self.nr) / last(&self.lte)
     }
 
@@ -218,8 +218,7 @@ impl Table4 {
         self.cells
             .iter()
             .find(|(w, s, _)| w == workload && s == strategy)
-            .map(|&(.., j)| j)
-            .unwrap_or(f64::NAN)
+            .map_or(f64::NAN, |&(.., j)| j)
     }
 
     /// Renders the table with the paper's values.

@@ -10,7 +10,7 @@ use fiveg_ran::{HandoffCampaign, HandoffKind, HandoffProcedure, HandoffRecord};
 use fiveg_simcore::{BitRate, Cdf, SimDuration, SimTime};
 use fiveg_transport::{CcAlgorithm, TcpSender};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Fig. 4: RSRQ evolution of serving + neighbour cells along a transect
 /// crossing two 5G cells.
@@ -27,8 +27,8 @@ impl Fig4 {
     pub fn to_text(&self) -> String {
         let mut s = String::from("== Fig. 4: RSRQ evolution during hand-off ==\n");
         for (pci, pts) in &self.series {
-            let first = pts.first().map(|p| p.1).unwrap_or(f64::NAN);
-            let last = pts.last().map(|p| p.1).unwrap_or(f64::NAN);
+            let first = pts.first().map_or(f64::NAN, |p| p.1);
+            let last = pts.last().map_or(f64::NAN, |p| p.1);
             s += &format!(
                 "PCI {pci}: {} samples, RSRQ {first:.1} dB -> {last:.1} dB\n",
                 pts.len()
@@ -53,7 +53,7 @@ pub fn fig4(sc: &Scenario) -> Fig4 {
         interval: SimDuration::from_millis(250),
     }
     .generate();
-    let mut series: HashMap<u16, Vec<(f64, f64)>> = HashMap::new();
+    let mut series: BTreeMap<u16, Vec<(f64, f64)>> = BTreeMap::new();
     let mut serving_pci: Option<u16> = None;
     let mut handoff_at = None;
     let mut scratch = fiveg_phy::MeasureScratch::new();
@@ -74,8 +74,9 @@ pub fn fig4(sc: &Scenario) -> Fig4 {
             serving_pci = Some(best.pci);
         }
     }
+    // BTreeMap iterates pci-ascending; the stable sort below then
+    // breaks length ties by pci, exactly as before.
     let mut out: Vec<(u16, Vec<(f64, f64)>)> = series.into_iter().collect();
-    out.sort_by_key(|&(pci, _)| pci);
     // Keep the three longest series (serving + main neighbours).
     out.sort_by_key(|(_, v)| std::cmp::Reverse(v.len()));
     out.truncate(4);
@@ -195,8 +196,9 @@ impl Fig12 {
         self.drops
             .iter()
             .find(|(l, _)| l == label)
-            .map(|(_, v)| v.iter().sum::<f64>() / v.len().max(1) as f64)
-            .unwrap_or(f64::NAN)
+            .map_or(f64::NAN, |(_, v)| {
+                v.iter().sum::<f64>() / v.len().max(1) as f64
+            })
     }
 
     /// Renders the summary.

@@ -43,8 +43,7 @@ impl Fig7 {
         self.tcp
             .iter()
             .find(|(t, p, ..)| t == tech && p == proto)
-            .map(|&(.., u)| u)
-            .unwrap_or(f64::NAN)
+            .map_or(f64::NAN, |&(.., u)| u)
     }
 
     /// Renders the figure.
@@ -178,7 +177,7 @@ impl Fig8 {
     /// Renders a summary.
     pub fn to_text(&self) -> String {
         let peak = |v: &[(f64, f64)]| v.iter().map(|&(_, w)| w).fold(0.0, f64::max);
-        let last = |v: &[(f64, f64)]| v.last().map(|&(_, w)| w).unwrap_or(0.0);
+        let last = |v: &[(f64, f64)]| v.last().map_or(0.0, |&(_, w)| w);
         format!(
             "== Fig. 8: cwnd evolution (5G) ==\n\
              Cubic: {} samples, peak {:.0} kB, final {:.0} kB\n\
@@ -230,8 +229,7 @@ impl Fig9 {
         self.rows
             .iter()
             .find(|&&(f, ..)| (f - frac).abs() < 1e-9)
-            .map(|&(_, _, l)| l)
-            .unwrap_or(f64::NAN)
+            .map_or(f64::NAN, |&(_, _, l)| l)
     }
 
     /// Renders the figure.
@@ -300,7 +298,7 @@ pub struct Fig10 {
 impl Fig10 {
     /// Highest attempt index (1-based) with non-zero mass.
     pub fn max_attempts(v: &[f64]) -> usize {
-        v.iter().rposition(|&x| x > 0.0).map(|i| i + 1).unwrap_or(0)
+        v.iter().rposition(|&x| x > 0.0).map_or(0, |i| i + 1)
     }
 
     /// Renders the figure.

@@ -42,9 +42,7 @@ pub fn sweep_threads() -> usize {
                 }
             }
         }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     })
 }
 

@@ -323,12 +323,12 @@ mod tests {
             .collect();
         let tr = m.replay(&bursts);
         let v = tr.series.values();
-        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        let max = v.iter().copied().fold(f64::MIN, f64::max);
         let min_mid: f64 = v
             .iter()
             .skip(150)
             .take(100)
-            .cloned()
+            .copied()
             .fold(f64::MAX, f64::min);
         assert!(max >= 2_800.0, "active peaks {max}");
         assert!(min_mid < 1_000.0, "between loads drops to DRX {min_mid}");

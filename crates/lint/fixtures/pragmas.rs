@@ -1,0 +1,32 @@
+//! lint-fixture-path: crates/campaign/src/fixture.rs
+//!
+//! Pragma behaviour: a well-formed pragma suppresses exactly its rules
+//! on its own line and the next; malformed pragmas are L000 findings.
+
+use std::time::Instant;
+
+fn timed() -> Instant {
+    // fiveg-lint: allow(D003) -- wall time feeds the manifest, not artifacts
+    Instant::now()
+}
+
+fn trailing(o: Option<u64>) -> u64 {
+    o.unwrap() // fiveg-lint: allow(U001) -- invariant: caller checked is_some
+}
+
+fn not_covered(o: Option<u64>) -> u64 {
+    // fiveg-lint: allow(U001) -- only shields the next line
+    let a = o.unwrap();
+    let b = o.unwrap(); //~ U001
+    a + b
+}
+
+// fiveg-lint: allow(U001)
+//~^ L000
+fn missing_reason(o: Option<u64>) -> u64 {
+    o.unwrap() //~ U001
+}
+
+// fiveg-lint: allow(Z999) -- unknown rule id
+//~^ L000
+fn unknown_rule() {}

@@ -1,0 +1,27 @@
+//! lint-fixture-path: tests/fixture.rs
+//!
+//! Rule scoping in `tests/`: hazards that only matter for library /
+//! sim code (D001, D003, D005, U001) are exempt, but a NaN-unsafe
+//! float comparator (D002) and `static mut` (D004) are hazards
+//! anywhere — goldens are compared by tests too.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+static mut COUNTER: u64 = 0; //~ D004
+
+#[test]
+fn free_to_unwrap_and_time() {
+    let mut m = HashMap::new();
+    m.insert("k", 1u64);
+    let t = Instant::now();
+    let v = m.get("k").unwrap();
+    assert!(t.elapsed().as_secs() < 60 && *v == 1);
+}
+
+#[test]
+fn but_not_to_sort_floats_unsafely() {
+    let mut v = vec![2.0_f64, 1.0];
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ D002
+    assert_eq!(v[0], 1.0);
+}

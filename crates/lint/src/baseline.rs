@@ -1,0 +1,251 @@
+//! The ratchet baseline: grandfathered findings committed as
+//! `golden/lint-baseline.json`.
+//!
+//! The gate is "no *new* findings": a finding is new when the number of
+//! sites with the same `(rule, file, excerpt)` key exceeds the count the
+//! baseline grandfathers. Keying on the trimmed source line instead of
+//! the line number keeps the baseline stable when unrelated edits shift
+//! code up or down a file; the baseline shrinks as old sites are fixed
+//! (`--bless` rewrites it).
+//!
+//! The file is read back with `fiveg-obs`'s JSON reader — the same
+//! parser that gates the bench baseline — and written with the same
+//! stable key ordering, so it diffs cleanly under version control.
+
+use std::collections::BTreeMap;
+
+use fiveg_obs::JsonValue;
+
+use crate::rules::Finding;
+
+/// Baseline schema version written into the file.
+pub const SCHEMA: u64 = 1;
+
+/// Multiplicity of grandfathered findings per `(rule, file, excerpt)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, String), u64>,
+}
+
+/// A baseline that failed to load.
+#[derive(Debug)]
+pub struct BaselineError(pub String);
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint baseline: {}", self.0)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl Baseline {
+    /// Builds a baseline grandfathering exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.rule.to_string(), f.file.clone(), f.excerpt.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Parses the committed JSON representation.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let doc = fiveg_obs::parse_json(text).map_err(|e| BaselineError(e.to_string()))?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| BaselineError("missing `schema`".into()))?;
+        if schema != SCHEMA {
+            return Err(BaselineError(format!(
+                "schema {schema} unsupported (expected {SCHEMA}); re-bless with --bless"
+            )));
+        }
+        let Some(JsonValue::Array(items)) = doc.get("entries") else {
+            return Err(BaselineError("missing `entries` array".into()));
+        };
+        let mut entries = BTreeMap::new();
+        for item in items {
+            let field = |k: &str| {
+                item.get(k)
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| BaselineError(format!("entry missing string `{k}`")))
+            };
+            let rule = field("rule")?;
+            let file = field("file")?;
+            let excerpt = field("excerpt")?;
+            let count = item
+                .get("count")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| BaselineError("entry missing uint `count`".into()))?;
+            *entries.entry((rule, file, excerpt)).or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes with stable key order; byte-identical for equal content.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"entries\": [\n");
+        let mut first = true;
+        for ((rule, file, excerpt), count) in &self.entries {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("    {\"count\": ");
+            out.push_str(&count.to_string());
+            out.push_str(", \"excerpt\": ");
+            escape_json_into(&mut out, excerpt);
+            out.push_str(", \"file\": ");
+            escape_json_into(&mut out, file);
+            out.push_str(", \"rule\": ");
+            escape_json_into(&mut out, rule);
+            out.push('}');
+        }
+        if !self.entries.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"schema\": ");
+        out.push_str(&SCHEMA.to_string());
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Number of grandfathered sites.
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    /// Splits `findings` into (grandfathered, new). Within one key the
+    /// first `count` sites in line order are treated as grandfathered.
+    pub fn split<'a>(&self, findings: &'a [Finding]) -> (Vec<&'a Finding>, Vec<&'a Finding>) {
+        let mut budget: BTreeMap<(&str, &str, &str), u64> = self
+            .entries
+            .iter()
+            .map(|((r, f, e), c)| ((r.as_str(), f.as_str(), e.as_str()), *c))
+            .collect();
+        let mut old = Vec::new();
+        let mut new = Vec::new();
+        for f in findings {
+            let key = (f.rule, f.file.as_str(), f.excerpt.as_str());
+            match budget.get_mut(&key) {
+                Some(c) if *c > 0 => {
+                    *c -= 1;
+                    old.push(f);
+                }
+                _ => new.push(f),
+            }
+        }
+        (old, new)
+    }
+
+    /// Grandfathered sites that no longer exist (fixed since blessing);
+    /// returned as `(rule, file, gone_count)` for the shrink report.
+    pub fn stale(&self, findings: &[Finding]) -> Vec<(String, String, u64)> {
+        let mut current: BTreeMap<(&str, &str, &str), u64> = BTreeMap::new();
+        for f in findings {
+            *current
+                .entry((f.rule, f.file.as_str(), f.excerpt.as_str()))
+                .or_insert(0) += 1;
+        }
+        let mut gone: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for ((rule, file, excerpt), count) in &self.entries {
+            let have = current
+                .get(&(rule.as_str(), file.as_str(), excerpt.as_str()))
+                .copied()
+                .unwrap_or(0);
+            if have < *count {
+                *gone.entry((rule.clone(), file.clone())).or_insert(0) += count - have;
+            }
+        }
+        gone.into_iter().map(|((r, f), c)| (r, f, c)).collect()
+    }
+}
+
+/// Minimal JSON string escaping matching the fiveg-obs writer's output
+/// (and therefore round-tripping through its reader).
+pub fn escape_json_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    fn finding(rule: &'static str, file: &str, line: u32, excerpt: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            excerpt: excerpt.to_string(),
+            hint: "",
+        }
+    }
+
+    #[test]
+    fn round_trips_through_obs_parser() {
+        let fs = vec![
+            finding("U001", "crates/net/src/hop.rs", 4, "x.unwrap();"),
+            finding("U001", "crates/net/src/hop.rs", 9, "x.unwrap();"),
+            finding("D001", "crates/phy/src/a.rs", 1, "use HashMap; \"q\""),
+        ];
+        let b = Baseline::from_findings(&fs);
+        let json = b.to_json();
+        let back = Baseline::parse(&json).expect("parses");
+        assert_eq!(b, back);
+        assert_eq!(back.total(), 3);
+        // Serialization is canonical: re-serializing parses back equal bytes.
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn split_respects_multiplicity() {
+        let committed = vec![finding("U001", "f.rs", 4, "x.unwrap();")];
+        let b = Baseline::from_findings(&committed);
+        let now = vec![
+            finding("U001", "f.rs", 4, "x.unwrap();"),
+            finding("U001", "f.rs", 9, "x.unwrap();"),
+        ];
+        let (old, new) = b.split(&now);
+        assert_eq!(old.len(), 1);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].line, 9);
+    }
+
+    #[test]
+    fn stale_reports_fixed_sites() {
+        let committed = vec![
+            finding("U001", "f.rs", 4, "x.unwrap();"),
+            finding("D001", "g.rs", 2, "HashMap"),
+        ];
+        let b = Baseline::from_findings(&committed);
+        let now = vec![finding("U001", "f.rs", 4, "x.unwrap();")];
+        let stale = b.stale(&now);
+        assert_eq!(stale, vec![("D001".to_string(), "g.rs".to_string(), 1)]);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_shape() {
+        assert!(Baseline::parse("{\"schema\": 99, \"entries\": []}").is_err());
+        assert!(Baseline::parse("{\"entries\": []}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! `fiveg-lint`: the workspace determinism linter.
+//!
+//! The campaign goldens prove *that* every artifact is byte-identical
+//! for any `--jobs`/thread count; this crate proves *where* a hazard
+//! entered. It scans `crates/`, `tests/` and `examples/` (never
+//! `vendor/`) with its own Rust tokenizer and enforces the project's
+//! determinism invariants as named rules (see [`rules::RULES`]):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | D001 | no `HashMap`/`HashSet` in sim-crate library code |
+//! | D002 | no float comparators built on `partial_cmp` |
+//! | D003 | no wall-clock reads outside `fiveg-obs` |
+//! | D004 | no `static mut` globals |
+//! | D005 | no unseeded RNG outside tests |
+//! | U001 | no `unwrap()`/`expect()` in library code |
+//!
+//! Suppression is explicit — a
+//! `// fiveg-lint: allow(D00x) -- reason` pragma — or grandfathered
+//! through the committed `golden/lint-baseline.json` ratchet, so CI
+//! fails only on *new* findings and the baseline shrinks over time.
+
+pub mod baseline;
+pub mod rules;
+pub mod selftest;
+pub mod tokenizer;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use baseline::{Baseline, BaselineError};
+pub use rules::{scan_file, FileCtx, FileKind, Finding, RULES};
+
+/// Directories scanned under the workspace root.
+pub const SCAN_ROOTS: &[&str] = &["crates", "tests", "examples"];
+
+/// Default baseline location relative to the workspace root.
+pub const BASELINE_PATH: &str = "golden/lint-baseline.json";
+
+/// Everything one scan produced.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// All unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of findings silenced by pragmas.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+}
+
+/// Scans the workspace rooted at `root`. Files are visited in sorted
+/// path order so the report is deterministic; `vendor/`, `target/` and
+/// lint fixture directories are never scanned.
+pub fn scan_workspace(root: &Path) -> std::io::Result<ScanReport> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        collect_rs_files(&root.join(dir), &mut files)?;
+    }
+    files.sort();
+    let mut report = ScanReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(ctx) = FileCtx::classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(&path)?;
+        let (findings, suppressed) = scan_file(&ctx, &src);
+        report.findings.extend(findings);
+        report.suppressed += suppressed;
+        report.files += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name == "vendor" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders findings as the stable JSON report (`--json`): findings
+/// sorted by (file, line, rule), object keys sorted, no wall-clock or
+/// host-dependent fields — byte-identical across runs and machines.
+pub fn report_json(report: &ScanReport, base: &Baseline) -> String {
+    let (_, new) = base.split(&report.findings);
+    let new_keys: std::collections::BTreeSet<(&str, u32, &str)> = new
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.rule))
+        .collect();
+    let mut out = String::from("{\n  \"findings\": [\n");
+    let mut first = true;
+    for f in &report.findings {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let is_new = new_keys.contains(&(f.file.as_str(), f.line, f.rule));
+        out.push_str("    {\"excerpt\": ");
+        baseline::escape_json_into(&mut out, &f.excerpt);
+        out.push_str(", \"file\": ");
+        baseline::escape_json_into(&mut out, &f.file);
+        out.push_str(", \"hint\": ");
+        baseline::escape_json_into(&mut out, f.hint);
+        out.push_str(&format!(
+            ", \"line\": {}, \"new\": {}, \"rule\": ",
+            f.line, is_new
+        ));
+        baseline::escape_json_into(&mut out, f.rule);
+        out.push('}');
+    }
+    if !report.findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"files\": {}, \"new\": {}, \"suppressed\": {}, \"total\": {}}},\n",
+        report.files,
+        new.len(),
+        report.suppressed,
+        report.findings.len()
+    ));
+    out.push_str("  \"schema\": 1\n}\n");
+    out
+}
+
+/// The rule id with the most entries in `new`, with its count — named
+/// in the CI failure message so the offending invariant is obvious.
+pub fn worst_rule<'a>(new: &[&'a Finding]) -> Option<(&'a str, usize)> {
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for f in new {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    // max_by_key returns the *last* max; iterate explicitly so ties
+    // break toward the lexically-first rule id, deterministically.
+    let mut best: Option<(&str, usize)> = None;
+    for (rule, count) in counts {
+        if best.is_none_or(|(_, c)| count > c) {
+            best = Some((rule, count));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_rule_breaks_ties_deterministically() {
+        let mk = |rule: &'static str| Finding {
+            file: "f.rs".into(),
+            line: 1,
+            rule,
+            excerpt: String::new(),
+            hint: "",
+        };
+        let a = mk("U001");
+        let b = mk("D001");
+        let c = mk("D001");
+        let new = vec![&a, &b, &c];
+        assert_eq!(worst_rule(&new), Some(("D001", 2)));
+        let tie = vec![&a, &b];
+        assert_eq!(worst_rule(&tie), Some(("D001", 1)));
+        assert_eq!(worst_rule(&[]), None);
+    }
+
+    #[test]
+    fn report_json_is_stable() {
+        let report = ScanReport {
+            findings: vec![Finding {
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                rule: "U001",
+                excerpt: "x.unwrap();".into(),
+                hint: "h",
+            }],
+            suppressed: 1,
+            files: 2,
+        };
+        let base = Baseline::default();
+        let one = report_json(&report, &base);
+        let two = report_json(&report, &base);
+        assert_eq!(one, two);
+        assert!(one.contains("\"new\": true"));
+        let parsed = fiveg_obs::parse_json(&one).expect("valid json");
+        assert_eq!(
+            parsed
+                .get("summary")
+                .and_then(|s| s.get("total"))
+                .and_then(fiveg_obs::JsonValue::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,522 @@
+//! The determinism rules and the per-file scanner.
+//!
+//! Each rule is a named, machine-checkable invariant of this
+//! workspace's "byte-identical artifacts for any worker/thread count"
+//! guarantee. Rules operate on the token stream from
+//! [`crate::tokenizer`], so identifiers inside strings and comments
+//! never match.
+
+use crate::tokenizer::{tokenize, Tok, TokKind};
+
+/// Where a file sits in the workspace; decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `crates/<name>/src/**` minus binaries — panics here abort sims.
+    Lib,
+    /// `src/main.rs`, `src/bin/**` — CLI entry points may panic on bad
+    /// user input.
+    Bin,
+    /// `examples/**` anywhere.
+    Example,
+    /// `tests/**` anywhere, and benches.
+    Test,
+}
+
+/// Per-file context computed from its workspace-relative path.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// `<name>` for `crates/<name>/...` files.
+    pub crate_name: Option<String>,
+    /// Location class.
+    pub kind: FileKind,
+}
+
+impl FileCtx {
+    /// Classifies a workspace-relative path, or `None` for paths the
+    /// linter must not scan (vendored code, lint fixtures).
+    pub fn classify(rel_path: &str) -> Option<FileCtx> {
+        let rel = rel_path.replace('\\', "/");
+        if rel.starts_with("vendor/") || rel.contains("/fixtures/") || rel.starts_with("target/") {
+            return None;
+        }
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .map(str::to_string);
+        let tail = match crate_name {
+            Some(ref name) => rel
+                .strip_prefix("crates/")
+                .and_then(|r| r.strip_prefix(name.as_str()))
+                .and_then(|r| r.strip_prefix('/'))
+                .unwrap_or(&rel),
+            None => &rel,
+        };
+        let kind = if tail.starts_with("tests/") || tail.starts_with("benches/") {
+            FileKind::Test
+        } else if tail.starts_with("examples/") {
+            FileKind::Example
+        } else if tail.starts_with("src/bin/") || tail == "src/main.rs" {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        };
+        Some(FileCtx {
+            rel_path: rel,
+            crate_name,
+            kind,
+        })
+    }
+
+    fn is_sim_crate(&self) -> bool {
+        // Crates on the deterministic artifact path. `obs` (stable-order
+        // snapshots by construction), `bench` (wall-clock reporting) and
+        // `lint` itself are not sim crates.
+        matches!(
+            self.crate_name.as_deref(),
+            Some(
+                "simcore"
+                    | "geo"
+                    | "phy"
+                    | "ran"
+                    | "net"
+                    | "transport"
+                    | "apps"
+                    | "energy"
+                    | "core"
+                    | "campaign"
+            )
+        )
+    }
+}
+
+/// One finding: rule, location, the offending line and a fix hint.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`D001` ... `U001`, `L000`).
+    pub rule: &'static str,
+    /// The trimmed source line — the baseline key, resilient to code
+    /// moving between lines.
+    pub excerpt: String,
+    /// One-line fix hint.
+    pub hint: &'static str,
+}
+
+/// Rule table: id, what it catches, and the fix hint attached to every
+/// finding. Kept in one place so `--rules`, the docs and the engine
+/// cannot drift apart.
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "D001",
+        "HashMap/HashSet in deterministic sim-crate library code",
+        "unordered iteration breaks byte-identity; use BTreeMap/BTreeSet or sort before draining",
+    ),
+    (
+        "D002",
+        "float sort/min/max comparator built on partial_cmp",
+        "partial_cmp panics or mis-orders on NaN; use f64::total_cmp",
+    ),
+    (
+        "D003",
+        "wall-clock (Instant::now/SystemTime) outside fiveg-obs span timers",
+        "wall-clock in sim paths breaks replay; route timing through fiveg-obs spans",
+    ),
+    (
+        "D004",
+        "static mut global state",
+        "mutable globals defeat determinism and thread-safety; pass state explicitly",
+    ),
+    (
+        "D005",
+        "unseeded RNG construction (thread_rng/from_entropy/OsRng)",
+        "unseeded RNG breaks replay; derive seeds via stable_hash(base_seed, name, rep)",
+    ),
+    (
+        "U001",
+        "unwrap()/expect() in library code",
+        "library panics abort whole campaigns; return Result or add a justifying pragma",
+    ),
+    (
+        "L000",
+        "malformed fiveg-lint pragma",
+        "pragma syntax is `// fiveg-lint: allow(D00x[,D00y]) -- reason`",
+    ),
+];
+
+/// True if `id` is a known rule id.
+pub fn rule_exists(id: &str) -> bool {
+    RULES.iter().any(|(r, _, _)| *r == id)
+}
+
+fn hint_for(id: &str) -> &'static str {
+    RULES
+        .iter()
+        .find(|(r, _, _)| *r == id)
+        .map_or("", |(_, _, h)| h)
+}
+
+/// A parsed suppression pragma.
+struct Pragma {
+    line: u32,
+    rules: Vec<String>,
+}
+
+/// Scans one file's source, returning (findings, suppressed_count).
+///
+/// Suppression: `// fiveg-lint: allow(D001) -- reason` silences the
+/// listed rules on the pragma's own line and on the line directly
+/// below it, so it works both as a trailing comment and as a
+/// stand-alone line above the offending statement.
+pub fn scan_file(ctx: &FileCtx, src: &str) -> (Vec<Finding>, usize) {
+    let toks = tokenize(src);
+    let test_regions = test_regions(&toks);
+    let in_test = |line: u32| {
+        ctx.kind == FileKind::Test || test_regions.iter().any(|&(a, b)| line >= a && line <= b)
+    };
+    let lines: Vec<&str> = src.lines().collect();
+    let excerpt = |line: u32| {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+
+    let mut pragmas: Vec<Pragma> = Vec::new();
+    let mut raw = Vec::new(); // findings before pragma filtering
+
+    for t in &toks {
+        if t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment {
+            continue;
+        }
+        if let Some(rest) = pragma_body(t.text) {
+            match parse_pragma(rest) {
+                Some(rules) => pragmas.push(Pragma {
+                    line: t.line,
+                    rules,
+                }),
+                None => raw.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: t.line,
+                    rule: "L000",
+                    excerpt: excerpt(t.line),
+                    hint: hint_for("L000"),
+                }),
+            }
+        }
+    }
+
+    // Significant (non-comment) tokens drive the rules.
+    let sig: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
+    let push = |raw: &mut Vec<Finding>, rule: &'static str, line: u32| {
+        // One finding per (rule, line): `HashMap<K, HashSet<V>>` is one
+        // hazard site, not two.
+        if raw.iter().any(|f| f.rule == rule && f.line == line) {
+            return;
+        }
+        raw.push(Finding {
+            file: ctx.rel_path.clone(),
+            line,
+            rule,
+            excerpt: excerpt(line),
+            hint: hint_for(rule),
+        });
+    };
+
+    // Index of the most recent sort-family method name, for D002.
+    let mut last_sort: Option<usize> = None;
+    for (i, t) in sig.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text {
+            "HashMap" | "HashSet"
+                if ctx.kind == FileKind::Lib && ctx.is_sim_crate() && !in_test(t.line) =>
+            {
+                push(&mut raw, "D001", t.line);
+            }
+            "sort_by" | "sort_unstable_by" | "max_by" | "min_by" | "binary_search_by" => {
+                last_sort = Some(i);
+            }
+            "partial_cmp" => {
+                // Inside a comparator closure the call sits within a few
+                // dozen tokens of the sort-family name; `fn partial_cmp`
+                // trait impls have no such neighbour and never match.
+                if matches!(last_sort, Some(j) if i - j <= 40) {
+                    push(&mut raw, "D002", t.line);
+                }
+            }
+            "Instant" | "SystemTime" => {
+                let is_now_call = t.text == "SystemTime"
+                    || matches!(
+                        (sig.get(i + 1), sig.get(i + 2), sig.get(i + 3)),
+                        (Some(a), Some(b), Some(c))
+                            if a.text == ":" && b.text == ":" && c.text == "now"
+                    );
+                if is_now_call && ctx.crate_name.as_deref() != Some("obs") && !in_test(t.line) {
+                    push(&mut raw, "D003", t.line);
+                }
+            }
+            "static" => {
+                if matches!(sig.get(i + 1), Some(n) if n.text == "mut") {
+                    push(&mut raw, "D004", t.line);
+                }
+            }
+            "thread_rng" | "from_entropy" | "OsRng" if !in_test(t.line) => {
+                push(&mut raw, "D005", t.line);
+            }
+            "unwrap" | "expect" => {
+                let is_method_call = i > 0
+                    && sig[i - 1].text == "."
+                    && matches!(sig.get(i + 1), Some(p) if p.text == "(");
+                // `self.expect(...)` is a custom method on the receiver
+                // type (e.g. the obs JSON parser), not Option/Result.
+                let custom_method = i >= 2 && sig[i - 2].text == "self" && sig[i - 1].text == ".";
+                if is_method_call && !custom_method && ctx.kind == FileKind::Lib && !in_test(t.line)
+                {
+                    push(&mut raw, "U001", t.line);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        let hit = pragmas.iter().any(|p| {
+            (p.line == f.line || p.line + 1 == f.line) && p.rules.iter().any(|r| r == f.rule)
+        });
+        if hit {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    findings.sort();
+    (findings, suppressed)
+}
+
+/// Extracts the pragma body from a comment whose text *starts* with
+/// `fiveg-lint:` (after the comment markers). Prose that merely
+/// mentions the pragma syntax mid-sentence is not a pragma.
+fn pragma_body(comment: &str) -> Option<&str> {
+    let body = comment
+        .trim_start_matches(['/', '!', '*'])
+        .trim_start()
+        .strip_prefix("fiveg-lint:")?;
+    let body = body.trim();
+    // Block comments carry their closing delimiter in the token text.
+    Some(body.strip_suffix("*/").map_or(body, str::trim_end))
+}
+
+/// Parses `allow(D001,D002) -- reason`; `None` if malformed (unknown
+/// rule, missing reason, bad shape).
+fn parse_pragma(body: &str) -> Option<Vec<String>> {
+    let rest = body.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let (list, tail) = rest.split_at(close);
+    let tail = tail[1..].trim_start();
+    let reason = tail.strip_prefix("--")?;
+    if reason.trim().is_empty() {
+        return None;
+    }
+    let rules: Vec<String> = list.split(',').map(|r| r.trim().to_string()).collect();
+    if rules.is_empty() || rules.iter().any(|r| !rule_exists(r)) {
+        return None;
+    }
+    Some(rules)
+}
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items. After the
+/// attribute, the region extends to the end of the next brace-balanced
+/// block (or to the terminating `;` for brace-less items).
+fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let sig: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].text == "#" && matches!(sig.get(i + 1), Some(t) if t.text == "[") {
+            // Match `#[test]` or `#[cfg(test)]` exactly.
+            let is_test_attr = matches!(
+                (sig.get(i + 2), sig.get(i + 3)),
+                (Some(a), Some(b)) if a.text == "test" && b.text == "]"
+            ) || matches!(
+                (sig.get(i + 2), sig.get(i + 3), sig.get(i + 4), sig.get(i + 5), sig.get(i + 6)),
+                (Some(a), Some(b), Some(c), Some(d), Some(e))
+                    if a.text == "cfg" && b.text == "(" && c.text == "test"
+                        && d.text == ")" && e.text == "]"
+            );
+            if is_test_attr {
+                let start_line = sig[i].line;
+                let mut j = i;
+                // Find the opening brace of the annotated item; a `;`
+                // first means a brace-less item (e.g. `#[cfg(test)] use`).
+                let mut depth = 0usize;
+                let mut end_line = start_line;
+                while j < sig.len() {
+                    match sig[j].text {
+                        "{" => {
+                            depth += 1;
+                        }
+                        "}" => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                end_line = sig[j].line;
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 => {
+                            end_line = sig[j].line;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    end_line = sig[j].line;
+                    j += 1;
+                }
+                regions.push((start_line, end_line));
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx(path: &str) -> FileCtx {
+        FileCtx::classify(path).expect("classifiable")
+    }
+
+    fn rules_hit(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        let (f, _) = scan_file(&lib_ctx(path), src);
+        f.into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn classify_kinds() {
+        assert_eq!(lib_ctx("crates/phy/src/env.rs").kind, FileKind::Lib);
+        assert_eq!(lib_ctx("crates/bench/src/bin/repro.rs").kind, FileKind::Bin);
+        assert_eq!(lib_ctx("crates/phy/examples/x.rs").kind, FileKind::Example);
+        assert_eq!(lib_ctx("tests/integration.rs").kind, FileKind::Test);
+        assert_eq!(lib_ctx("examples/quickstart.rs").kind, FileKind::Example);
+        assert!(FileCtx::classify("vendor/rand/src/lib.rs").is_none());
+        assert!(FileCtx::classify("crates/lint/fixtures/pos.rs").is_none());
+    }
+
+    #[test]
+    fn d001_only_in_sim_lib_code() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_hit("crates/phy/src/x.rs", src), vec![("D001", 1)]);
+        assert!(rules_hit("crates/obs/src/x.rs", src).is_empty());
+        assert!(rules_hit("tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d001_skips_test_mods() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        assert!(rules_hit("crates/net/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_flags_sort_comparators_not_trait_impls() {
+        let sort = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
+        assert!(rules_hit("crates/phy/src/x.rs", sort)
+            .iter()
+            .any(|&(r, _)| r == "D002"));
+        let tr = "impl PartialOrd for T {\n  fn partial_cmp(&self, o: &T) -> Option<Ordering> { None }\n}\n";
+        assert!(!rules_hit("crates/phy/src/x.rs", tr)
+            .iter()
+            .any(|&(r, _)| r == "D002"));
+    }
+
+    #[test]
+    fn d003_exempts_obs_and_tests() {
+        let src = "let t = Instant::now();\n";
+        assert_eq!(
+            rules_hit("crates/campaign/src/x.rs", src),
+            vec![("D003", 1)]
+        );
+        assert!(rules_hit("crates/obs/src/x.rs", src).is_empty());
+        assert!(rules_hit("tests/x.rs", src).is_empty());
+        // A plain `Instant` type mention is not a wall-clock read.
+        assert!(rules_hit("crates/campaign/src/x.rs", "fn f(t: Instant) {}\n").is_empty());
+    }
+
+    #[test]
+    fn d004_and_d005() {
+        assert_eq!(
+            rules_hit("crates/net/src/x.rs", "static mut G: u32 = 0;\n"),
+            vec![("D004", 1)]
+        );
+        assert_eq!(
+            rules_hit("crates/net/src/x.rs", "let mut r = thread_rng();\n"),
+            vec![("D005", 1)]
+        );
+        assert!(rules_hit("crates/net/src/x.rs", "static G: u32 = 0;\n").is_empty());
+    }
+
+    #[test]
+    fn u001_lib_only_and_method_position() {
+        let src = "let x = o.unwrap();\n";
+        assert_eq!(rules_hit("crates/net/src/x.rs", src), vec![("U001", 1)]);
+        assert!(rules_hit("crates/bench/src/bin/repro.rs", src).is_empty());
+        assert!(rules_hit("examples/q.rs", src).is_empty());
+        // `unwrap_or`, a bare `expect` ident, and a custom
+        // `self.expect(...)` method are not findings.
+        assert!(rules_hit("crates/net/src/x.rs", "let x = o.unwrap_or(0);\n").is_empty());
+        assert!(rules_hit("crates/net/src/x.rs", "let expect = 1;\n").is_empty());
+        assert!(rules_hit("crates/net/src/x.rs", "self.expect(b'{')?;\n").is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_same_and_next_line() {
+        let trailing =
+            "let x = o.unwrap(); // fiveg-lint: allow(U001) -- invariant: set in new()\n";
+        let (f, s) = scan_file(&lib_ctx("crates/net/src/x.rs"), trailing);
+        assert!(f.is_empty());
+        assert_eq!(s, 1);
+        let above = "// fiveg-lint: allow(U001) -- invariant: set in new()\nlet x = o.unwrap();\n";
+        let (f, s) = scan_file(&lib_ctx("crates/net/src/x.rs"), above);
+        assert!(f.is_empty());
+        assert_eq!(s, 1);
+    }
+
+    #[test]
+    fn pragma_does_not_blanket_other_rules_or_lines() {
+        let src =
+            "// fiveg-lint: allow(U001) -- reason\nlet x = o.unwrap();\nlet y = o.unwrap();\n";
+        let (f, s) = scan_file(&lib_ctx("crates/net/src/x.rs"), src);
+        assert_eq!(s, 1);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn malformed_pragmas_are_l000() {
+        for bad in [
+            "// fiveg-lint: allow(U001)\nlet a = 1;\n", // missing reason
+            "// fiveg-lint: allow(X999) -- nope\nlet a = 1;\n", // unknown rule
+            "// fiveg-lint: disallow(U001) -- x\nlet a = 1;\n", // bad verb
+        ] {
+            let (f, _) = scan_file(&lib_ctx("crates/net/src/x.rs"), bad);
+            assert_eq!(f.len(), 1, "{bad:?}");
+            assert_eq!(f[0].rule, "L000", "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn strings_and_comments_never_match() {
+        let src = "// HashMap Instant::now()\nlet s = \"static mut thread_rng\";\n";
+        assert!(rules_hit("crates/phy/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! The fixture self-test: runs the rule engine over
+//! `crates/lint/fixtures/` and compares findings against inline
+//! expectation markers.
+//!
+//! Markers: `//~ RULE [RULE...]` expects those findings on the marker's
+//! own line; `//~^ RULE` on the line above. Fixtures declare the
+//! workspace path they emulate with a `lint-fixture-path:` header so
+//! scoping (sim crate / test file / example) is exercised too. Both
+//! `cargo test -p fiveg-lint` and `fiveg-lint --self-test` run this.
+
+use std::path::Path;
+
+use crate::rules::{scan_file, FileCtx, RULES};
+
+/// Runs every `.rs` fixture under `fixtures`. `Ok(checked_count)` when
+/// all match; `Err(messages)` describing each drift otherwise.
+pub fn run(fixtures: &Path) -> Result<usize, Vec<String>> {
+    let mut entries = match std::fs::read_dir(fixtures) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect::<Vec<_>>(),
+        Err(e) => return Err(vec![format!("cannot read {}: {e}", fixtures.display())]),
+    };
+    entries.sort();
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for path in entries
+        .iter()
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+    {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(format!("{name}: cannot read: {e}"));
+                continue;
+            }
+        };
+        let Some(emulated) = fixture_path_header(&src) else {
+            failures.push(format!("{name}: missing `lint-fixture-path:` header"));
+            continue;
+        };
+        let Some(ctx) = FileCtx::classify(&emulated) else {
+            failures.push(format!("{name}: header path `{emulated}` is not scannable"));
+            continue;
+        };
+        let (findings, _) = scan_file(&ctx, &src);
+        let got: Vec<(u32, &str)> = findings.iter().map(|f| (f.line, f.rule)).collect();
+        let want = expected_markers(&src);
+        checked += 1;
+        if got != want {
+            let mut msg = format!("{name} (as {emulated}) drifted:");
+            for &(line, rule) in &want {
+                if !got.contains(&(line, rule)) {
+                    msg.push_str(&format!("\n  missing expected {rule} at line {line}"));
+                }
+            }
+            for f in &findings {
+                if !want.contains(&(f.line, f.rule)) {
+                    msg.push_str(&format!(
+                        "\n  unexpected {} at line {} `{}`",
+                        f.rule, f.line, f.excerpt
+                    ));
+                }
+            }
+            failures.push(msg);
+        }
+    }
+    if checked == 0 {
+        failures.push(format!("no fixtures found in {}", fixtures.display()));
+    }
+    if failures.is_empty() {
+        Ok(checked)
+    } else {
+        Err(failures)
+    }
+}
+
+fn fixture_path_header(src: &str) -> Option<String> {
+    for line in src.lines().take(5) {
+        if let Some(idx) = line.find("lint-fixture-path:") {
+            return Some(line[idx + "lint-fixture-path:".len()..].trim().to_string());
+        }
+    }
+    None
+}
+
+/// Expected (line, rule) pairs from the markers, sorted like scan
+/// output. Unknown rule ids become a guaranteed-mismatch sentinel so a
+/// typo in a fixture cannot silently pass.
+fn expected_markers(src: &str) -> Vec<(u32, &'static str)> {
+    let mut want = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        let Some(idx) = line.find("//~") else {
+            continue;
+        };
+        let rest = &line[idx + 3..];
+        let (target, list) = match rest.strip_prefix('^') {
+            Some(r) => (lineno - 1, r),
+            None => (lineno, rest),
+        };
+        for word in list.split_whitespace() {
+            match RULES.iter().find(|(id, _, _)| *id == word) {
+                Some((id, _, _)) => want.push((target, *id)),
+                None => want.push((target, "???")),
+            }
+        }
+    }
+    want.sort_unstable();
+    want
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_parsing() {
+        let src = "let a = 1; //~ U001 D002\n//~^ D001\nplain\n//~ Z999\n";
+        assert_eq!(
+            expected_markers(src),
+            vec![(1, "D001"), (1, "D002"), (1, "U001"), (4, "???")]
+        );
+    }
+}

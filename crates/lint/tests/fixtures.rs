@@ -1,0 +1,38 @@
+//! Runs the fixture self-test under `cargo test`, so the rule engine
+//! and the `fiveg-lint --self-test` CI stage can never drift apart.
+
+use std::path::Path;
+
+#[test]
+fn fixture_suite_matches_markers() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    match fiveg_lint::selftest::run(&fixtures) {
+        Ok(checked) => assert!(checked >= 4, "expected at least 4 fixtures, ran {checked}"),
+        Err(failures) => panic!("fixture drift:\n{}", failures.join("\n")),
+    }
+}
+
+#[test]
+fn repo_scan_is_deterministic_and_baseline_round_trips() {
+    // Scan the real workspace twice: identical findings and identical
+    // JSON reports (the --json byte-stability contract).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let a = fiveg_lint::scan_workspace(root).expect("scan");
+    let b = fiveg_lint::scan_workspace(root).expect("scan");
+    assert_eq!(a.findings, b.findings);
+    assert_eq!(a.suppressed, b.suppressed);
+    let base = fiveg_lint::Baseline::from_findings(&a.findings);
+    assert_eq!(
+        fiveg_lint::report_json(&a, &base),
+        fiveg_lint::report_json(&b, &base)
+    );
+    // Blessing today's findings yields zero new ones.
+    let (_, new) = base.split(&a.findings);
+    assert!(new.is_empty());
+    // And the baseline round-trips through the fiveg-obs JSON reader.
+    let back = fiveg_lint::Baseline::parse(&base.to_json()).expect("parse");
+    assert_eq!(base, back);
+}

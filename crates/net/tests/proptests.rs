@@ -93,8 +93,7 @@ proptest! {
             .iter()
             .rev()
             .find(|&&(pt, _)| pt <= t)
-            .map(|&(_, r)| r)
-            .unwrap_or(pts[0].1);
+            .map_or(pts[0].1, |&(_, r)| r);
         prop_assert_eq!(model.rate_at(t).bps(), expect.bps());
         if let Some(nc) = model.next_change_after(t) {
             prop_assert!(nc > t);

@@ -36,7 +36,7 @@ fn main() {
         }
         let mean = sum / n as f64;
         let std = (sq / n as f64 - mean * mean).sqrt();
-        println!("{:?}: n={} mean={:.2} std={:.2}", tech, n, mean, std);
+        println!("{tech:?}: n={n} mean={mean:.2} std={std:.2}");
         let labels = [
             "<-105",
             "-105..-90",
@@ -52,5 +52,5 @@ fn main() {
     // cell radius check along boresight LoS-ish
     let idx = env.cell_index(60).unwrap();
     let pos = env.cells[idx].pos;
-    println!("gNB site at {:?}", pos);
+    println!("gNB site at {pos:?}");
 }

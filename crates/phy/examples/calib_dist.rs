@@ -23,7 +23,7 @@ fn main() {
             hole_d.push((d, m.distance_m));
         }
     }
-    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    dists.sort_by(f64::total_cmp);
     println!(
         "nearest-gNB dist: p50={:.0} p80={:.0} p95={:.0} max={:.0}",
         dists[dists.len() / 2],

@@ -304,10 +304,10 @@ impl RadioEnv {
                 }
             })
             .collect();
-        let wpc = map
-            .spatial_index()
-            .map(|i| i.mask_words())
-            .unwrap_or_else(|| map.buildings.len().div_ceil(64).max(1));
+        let wpc = map.spatial_index().map_or_else(
+            || map.buildings.len().div_ceil(64).max(1),
+            fiveg_geo::SpatialIndex::mask_words,
+        );
         let mut hits = Vec::new();
         let mut sites: Vec<SiteGeom> = Vec::new();
         let mut site_of = vec![0usize; cells.len()];
@@ -1058,7 +1058,7 @@ mod tests {
             sinr: Db::new(0.0),
             distance_m: 10.0,
         };
-        let mut v = vec![mk(f64::NAN), mk(-80.0), mk(-120.0), mk(-60.0)];
+        let mut v = [mk(f64::NAN), mk(-80.0), mk(-120.0), mk(-60.0)];
         v.sort_by(|a, b| b.rsrp.value().total_cmp(&a.rsrp.value()));
         assert!(v[0].rsrp.value().is_nan());
         assert_eq!(v[1].rsrp.value(), -60.0);

@@ -229,7 +229,7 @@ impl HandoffCampaign {
                         _ => {
                             // Coverage lost: vertical 5G→4G fallback.
                             let latency = HandoffProcedure::nr_to_lte().sample_latency(rng);
-                            let before = srv.map(|m| m.rsrq).unwrap_or(Db::new(-25.0));
+                            let before = srv.map_or(Db::new(-25.0), |m| m.rsrq);
                             records.push(HandoffRecord {
                                 t: p.t,
                                 kind: HandoffKind::NrToLte,
@@ -304,13 +304,12 @@ impl HandoffCampaign {
                     let before = nr
                         .iter()
                         .find(|m| m.pci == nr_pci)
-                        .map(|m| m.rsrq)
-                        .unwrap_or(lte_srv.rsrq);
+                        .map_or(lte_srv.rsrq, |m| m.rsrq);
                     // The NSA procedure releases the NR leg and re-adds
                     // it on the target anchor, so the UE comes back on
                     // the *best* NR cell there (often a different one —
                     // anchors are co-sited with the gNBs).
-                    let new_nr = nr.first().map(|m| m.pci).unwrap_or(nr_pci);
+                    let new_nr = nr.first().map_or(nr_pci, |m| m.pci);
                     ue.nr_serving = Some(new_nr);
                     ue.nr_a3.reset();
                     (before, new_nr, Tech::Nr)
@@ -365,7 +364,7 @@ mod tests {
             duration: SimDuration::from_secs(minutes * 60),
             interval: SimDuration::from_millis(100),
         };
-        let mut rng = SimRng::new(seed);
+        let rng = SimRng::new(seed);
         let trace = rwp.generate(&e.map, &mut rng.substream("mobility"));
         HandoffCampaign::default().run(&e, &trace, &mut rng.substream("handoff"))
     }

@@ -110,7 +110,7 @@ impl Cdf {
     /// Builds a CDF from samples (NaNs are dropped).
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| !x.is_nan());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        samples.sort_by(f64::total_cmp);
         Cdf { sorted: samples }
     }
 

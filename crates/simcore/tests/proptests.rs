@@ -53,8 +53,8 @@ proptest! {
             prop_assert!(v >= prev);
             prev = v;
         }
-        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(c.quantile(0.0) >= min - 1e-9);
         prop_assert!(c.quantile(1.0) <= max + 1e-9);
     }

@@ -130,7 +130,7 @@ mod tests {
         for alg in CcAlgorithm::ALL {
             let cc = alg.build();
             let paces = cc.pacing_rate().is_some();
-            assert_eq!(paces, alg == CcAlgorithm::Bbr, "{:?}", alg);
+            assert_eq!(paces, alg == CcAlgorithm::Bbr, "{alg:?}");
         }
     }
 }

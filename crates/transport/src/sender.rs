@@ -624,8 +624,7 @@ impl Endpoint for TcpSender {
                     .sacked
                     .iter()
                     .next_back()
-                    .map(|(_, &e)| e)
-                    .unwrap_or(self.snd_una);
+                    .map_or(self.snd_una, |(_, &e)| e);
                 let mut seg = self.snd_una;
                 while seg < self.snd_nxt {
                     if !self.is_sacked_segment(seg) {

@@ -20,7 +20,7 @@ fn handoff_rate_reflects_smaller_5g_cells() {
         duration: SimDuration::from_secs(600),
         interval: SimDuration::from_millis(100),
     };
-    let mut rng = sc.rng("xlayer");
+    let rng = sc.rng("xlayer");
     let trace = rwp.generate(&sc.campus.map, &mut rng.substream("m"));
     let recs = HandoffCampaign::default().run(&sc.env, &trace, &mut rng.substream("h"));
     let nr_events = recs
@@ -49,14 +49,13 @@ fn coverage_holes_force_vertical_handoffs() {
         duration: SimDuration::from_secs(1200),
         interval: SimDuration::from_millis(100),
     };
-    let mut rng = sc.rng("xlayer2");
+    let rng = sc.rng("xlayer2");
     let trace = rwp.generate(&sc.campus.map, &mut rng.substream("m"));
     // Does the walk cross a hole at all?
     let crosses_hole = trace.iter().any(|p| {
         sc.env
             .serving(p.pos, Tech::Nr)
-            .map(|m| m.rsrp.value() < -105.0)
-            .unwrap_or(true)
+            .map_or(true, |m| m.rsrp.value() < -105.0)
     });
     let recs = HandoffCampaign::default().run(&sc.env, &trace, &mut rng.substream("h"));
     let fallbacks = recs
@@ -101,7 +100,7 @@ fn handoff_latency_feeds_energy_relevant_interruptions() {
         duration: SimDuration::from_secs(600),
         interval: SimDuration::from_millis(100),
     };
-    let mut rng = sc.rng("xlayer3");
+    let rng = sc.rng("xlayer3");
     let trace = rwp.generate(&sc.campus.map, &mut rng.substream("m"));
     let recs = HandoffCampaign::default().run(&sc.env, &trace, &mut rng.substream("h"));
     let total_interruption: f64 = recs.iter().map(|r| r.latency.as_secs_f64()).sum();
