@@ -68,8 +68,38 @@ cargo build --release --workspace
 stage "cargo test (debug profile, debug_assert! active)"
 cargo test -q --workspace
 
+stage "cargo build --release --examples"
+cargo build --release --workspace --examples
+
 stage "golden smoke: repro --only table1 --check"
 "${REPRO[@]}" --only table1 --out target/ci-repro-out --check golden/quick-s2020
+
+# Committed scenario files must parse, validate and stay in canonical
+# form (`scen fmt` is the formatter; drift here means someone edited a
+# file by hand without re-running it).
+stage "scenario files: scen check + fmt --check"
+SCEN_BIN=(cargo run --release -q -p fiveg-scenario --bin scen --)
+"${SCEN_BIN[@]}" check golden/scenarios/*.json
+"${SCEN_BIN[@]}" fmt --check golden/scenarios/*.json
+"${SCEN_BIN[@]}" expand golden/scenarios/families/gnb-density.json \
+  --out target/ci-scen-family > /dev/null 2>&1
+
+# The scenario DSL end-to-end: the committed scenarios (including the
+# fault-injection demo) must reproduce golden/scenario-s2020 at both
+# worker counts, and the paper-equivalent survey scenario must be
+# byte-identical to the registry's table1 golden.
+stage "scenario golden: repro --scenario vs golden/scenario-s2020"
+SCEN_JOBS=(--scenario golden/scenarios/paper-campus.json
+           --scenario golden/scenarios/outage-demo.json
+           --scenario golden/scenarios/flash-crowd.json
+           --scenario golden/scenarios/diurnal-web.json
+           --scenario golden/scenarios/night-sparse.json)
+"${REPRO[@]}" "${SCEN_JOBS[@]}" --only scenario --jobs 8 \
+  --out target/ci-scen-j8 --check golden/scenario-s2020 > /dev/null
+"${REPRO[@]}" "${SCEN_JOBS[@]}" --only scenario --jobs 1 \
+  --out target/ci-scen-j1 --check golden/scenario-s2020 > /dev/null
+cmp target/ci-scen-j8/paper_campus.json golden/quick-s2020/table1.json \
+  || { echo "scenario: paper_campus.json differs from the table1 golden" >&2; exit 1; }
 
 # Full quick campaign at 8 workers. Counter drift against the committed
 # baseline fails the gate (including the phy.sample microbench

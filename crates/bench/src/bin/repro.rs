@@ -25,6 +25,9 @@ Options:
   --jobs N         worker threads (default: all cores; results are
                    byte-identical for any value)
   --only FILTER    run only jobs whose name or section contains FILTER
+  --scenario FILE  register a scenario file (fiveg-scenario DSL) as an
+                   extra job in section `scenario`; repeatable. Parse or
+                   validation errors exit 2 with a file:line location
   --check DIR      diff the run's JSON artifacts against golden DIR and
                    exit non-zero on any drift
   --bless DIR      write the run's JSON artifacts to DIR as new goldens
@@ -47,6 +50,7 @@ struct Cli {
     seed: u64,
     jobs: usize,
     only: Option<String>,
+    scenarios: Vec<PathBuf>,
     check: Option<PathBuf>,
     bless: Option<PathBuf>,
     bench: bool,
@@ -66,6 +70,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         seed: 2020,
         jobs: default_jobs(),
         only: None,
+        scenarios: Vec::new(),
         check: None,
         bless: None,
         bench: false,
@@ -97,6 +102,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 }
             }
             "--only" => cli.only = Some(value("--only")?.to_string()),
+            "--scenario" => cli.scenarios.push(PathBuf::from(value("--scenario")?)),
             "--check" => cli.check = Some(PathBuf::from(value("--check")?)),
             "--bless" => cli.bless = Some(PathBuf::from(value("--bless")?)),
             "--bench" => cli.bench = true,
@@ -192,7 +198,40 @@ fn main() -> ExitCode {
         }
     }
 
-    let registry = paper_registry();
+    let mut registry = paper_registry();
+    // Scenario-file jobs ride alongside the registry jobs: parse and
+    // validate up front (a broken file fails like a bad flag), and
+    // reject names colliding with registered jobs before the executor's
+    // duplicate-name assert would turn it into a panic.
+    for path in &cli.scenarios {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: --scenario: reading {}: {e}\n", path.display());
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+        let spec = match fiveg_core::scenario_dsl::parse_scenario(&src, &path.display().to_string())
+        {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: --scenario: {e}\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+        if registry.jobs().iter().any(|j| j.name() == spec.name) {
+            eprintln!(
+                "error: --scenario: {}: scenario name `{}` collides with an already registered job\n",
+                path.display(),
+                spec.name
+            );
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        registry.register(fiveg_core::scenario_run::ScenarioJob::new(spec));
+    }
     if cli.list {
         // `let _ =`: a closed pipe (`repro --list | head`) is fine.
         let mut out = std::io::stdout().lock();

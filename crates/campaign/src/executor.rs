@@ -317,7 +317,28 @@ pub fn run(registry: &Registry, cfg: &RunConfig, progress: &mut dyn FnMut(&JobEv
 
     let results: Vec<JobResult> = slots
         .into_iter()
-        .map(|s| s.expect("every scheduled unit reports a result"))
+        .enumerate()
+        .map(|(unit, s)| {
+            s.unwrap_or_else(|| {
+                // A worker died before reporting this unit (it panicked
+                // outside the catch_unwind in run_unit): record a failed
+                // result instead of tearing down the whole run.
+                let (job, rep) = &units[unit];
+                JobResult {
+                    name: job.name().to_string(),
+                    section: job.section().to_string(),
+                    rep: *rep,
+                    seed: derive_seed(cfg.base_seed, job.name(), *rep),
+                    attempts: 0,
+                    wall: Duration::ZERO,
+                    status: JobStatus::Failed(
+                        "worker terminated before reporting a result".to_string(),
+                    ),
+                    output: None,
+                    metrics: None,
+                }
+            })
+        })
         .collect();
     let wall = start.elapsed();
     let manifest = Manifest::from_results(cfg, &results, wall);

@@ -19,12 +19,18 @@ pub enum ArtifactCheck {
         /// Artifact file name.
         name: String,
     },
-    /// Bytes differ; carries the first differing line for diagnosis.
+    /// Bytes differ; carries the first differing line, the byte offset
+    /// of the divergence and the JSON key path enclosing it.
     Drift {
         /// Artifact file name.
         name: String,
         /// 1-based line number of the first difference.
         line: usize,
+        /// 0-based byte offset where the two artifacts diverge.
+        offset: usize,
+        /// Dotted JSON key path enclosing the divergence in the golden
+        /// file (e.g. `faults[1].impact`), or empty at top level.
+        key: String,
         /// The golden line (or `<eof>`).
         expected: String,
         /// The freshly produced line (or `<eof>`).
@@ -57,11 +63,20 @@ impl ArtifactCheck {
             ArtifactCheck::Drift {
                 name,
                 line,
+                offset,
+                key,
                 expected,
                 actual,
-            } => format!(
-                "DRIFT   {name}: first difference at line {line}\n  golden: {expected}\n  actual: {actual}"
-            ),
+            } => {
+                let at = if key.is_empty() {
+                    format!("byte {offset}")
+                } else {
+                    format!("byte {offset}, key `{key}`")
+                };
+                format!(
+                    "DRIFT   {name}: first difference at line {line} ({at})\n  golden: {expected}\n  actual: {actual}"
+                )
+            }
             ArtifactCheck::MissingGolden { name } => {
                 format!("MISSING {name}: no golden file (bless the run to add it)")
             }
@@ -106,6 +121,90 @@ impl GoldenReport {
     }
 }
 
+/// Byte offset at which the two strings diverge (`min(len)` when one is
+/// a prefix of the other).
+fn first_diff_offset(expected: &str, actual: &str) -> usize {
+    expected
+        .bytes()
+        .zip(actual.bytes())
+        .position(|(e, a)| e != a)
+        .unwrap_or_else(|| expected.len().min(actual.len()))
+}
+
+/// The dotted JSON key path enclosing byte `offset` of `src`, assuming
+/// well-formed JSON (which golden artifacts are): `faults[1].impact`,
+/// or empty at top level. A light structural scan, not a full parser —
+/// it only tracks object keys, array indices and string escapes.
+fn json_key_path_at(src: &str, offset: usize) -> String {
+    enum Frame {
+        Object { key: Option<String> },
+        Array { idx: usize },
+    }
+    let bytes = src.as_bytes();
+    let end = offset.min(bytes.len());
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut i = 0;
+    while i < end {
+        match bytes[i] {
+            b'{' => stack.push(Frame::Object { key: None }),
+            b'[' => stack.push(Frame::Array { idx: 0 }),
+            b'}' | b']' => {
+                stack.pop();
+            }
+            b',' => {
+                if let Some(Frame::Array { idx }) = stack.last_mut() {
+                    *idx += 1;
+                }
+            }
+            b'"' => {
+                // Scan the string body, honouring escapes.
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                // A string followed by `:` names the next value.
+                let mut k = j + 1;
+                while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k] == b':' {
+                    if let Some(Frame::Object { key }) = stack.last_mut() {
+                        *key = Some(String::from_utf8_lossy(&bytes[start..j]).into_owned());
+                    }
+                }
+                // If the divergence is inside this string, stop before
+                // skipping past it.
+                if j >= end {
+                    break;
+                }
+                i = j;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let mut path = String::new();
+    for frame in &stack {
+        match frame {
+            Frame::Object { key: Some(k) } => {
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(k);
+            }
+            Frame::Object { key: None } => {}
+            Frame::Array { idx } => {
+                path.push_str(&format!("[{idx}]"));
+            }
+        }
+    }
+    path
+}
+
 fn first_diff_line(expected: &str, actual: &str) -> (usize, String, String) {
     for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
         if e != a {
@@ -135,9 +234,12 @@ pub fn check_artifacts(
             checks.push(ArtifactCheck::Match { name: name.clone() });
         } else {
             let (line, e, a) = first_diff_line(&expected, actual);
+            let offset = first_diff_offset(&expected, actual);
             checks.push(ArtifactCheck::Drift {
                 name: name.clone(),
                 line,
+                offset,
+                key: json_key_path_at(&expected, offset),
                 expected: e,
                 actual: a,
             });
@@ -197,11 +299,16 @@ mod tests {
         match &rep.checks[1] {
             ArtifactCheck::Drift {
                 line,
+                offset,
+                key,
                 expected,
                 actual,
                 ..
             } => {
                 assert_eq!(*line, 2);
+                // `{\n  "v": 2` vs `{\n  "v": 9` diverge at the value.
+                assert_eq!(*offset, 9);
+                assert_eq!(key, "v");
                 assert!(expected.contains('2'));
                 assert!(actual.contains('9'));
             }
@@ -212,6 +319,64 @@ mod tests {
             ArtifactCheck::MissingGolden { .. }
         ));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_path_walks_nesting() {
+        let src = r#"{
+  "top": 1,
+  "faults": [
+    { "kind": "outage", "impact": 71 },
+    { "kind": "storm", "impact": 21 }
+  ]
+}"#;
+        let at = src.find("21").unwrap();
+        assert_eq!(json_key_path_at(src, at), "faults[1].impact");
+        let at = src.find('1').unwrap();
+        assert_eq!(json_key_path_at(src, at), "top");
+        assert_eq!(json_key_path_at(src, 0), "");
+    }
+
+    #[test]
+    fn key_path_survives_escapes_and_strings_with_braces() {
+        let src = r#"{ "a": "not { a key", "b": "esc \" quote", "c": 5 }"#;
+        let at = src.find('5').unwrap();
+        assert_eq!(json_key_path_at(src, at), "c");
+        // Divergence inside a string value names that value's key.
+        let at = src.find("quote").unwrap();
+        assert_eq!(json_key_path_at(src, at), "b");
+    }
+
+    #[test]
+    fn drift_describe_names_offset_and_key() {
+        let dir = tempdir("offset");
+        fs::write(
+            dir.join("t.json"),
+            "{\n  \"rsrp\": [\n    -85.5,\n    5.6\n  ]\n}",
+        )
+        .unwrap();
+        let produced = vec![(
+            "t.json".to_string(),
+            "{\n  \"rsrp\": [\n    -85.5,\n    5.7\n  ]\n}".to_string(),
+        )];
+        let rep = check_artifacts(&dir, &produced).unwrap();
+        match &rep.checks[0] {
+            ArtifactCheck::Drift { offset, key, .. } => {
+                assert_eq!(key, "rsrp[1]");
+                let text = rep.checks[0].describe();
+                assert!(text.contains(&format!("byte {offset}")), "{text}");
+                assert!(text.contains("key `rsrp[1]`"), "{text}");
+            }
+            other => panic!("expected drift, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefix_truncation_diverges_at_shorter_len() {
+        assert_eq!(first_diff_offset("abcdef", "abc"), 3);
+        assert_eq!(first_diff_offset("abc", "abc"), 3);
+        assert_eq!(first_diff_offset("xbc", "abc"), 0);
     }
 
     #[test]

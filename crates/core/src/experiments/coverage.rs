@@ -79,7 +79,14 @@ impl Table1 {
 
 /// Runs the blanket road survey and produces Tab. 1.
 pub fn table1(sc: &Scenario) -> Table1 {
-    let trace = RoadSurvey::paper_default().generate(&sc.campus.map);
+    table1_with(sc, &RoadSurvey::paper_default())
+}
+
+/// [`table1`] with an explicit survey configuration — the scenario DSL's
+/// `survey` workload runs through here, so a paper-default scenario file
+/// is byte-faithful to the registry's `table1` job.
+pub fn table1_with(sc: &Scenario, survey: &RoadSurvey) -> Table1 {
+    let trace = survey.generate(&sc.campus.map);
     // Measure in parallel (order-preserved), then reduce serially —
     // `OnlineStats` accumulation is float-order-sensitive.
     let measured = par::par_map_with(

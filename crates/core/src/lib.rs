@@ -15,6 +15,9 @@
 //!   serialises to JSON.
 //! * [`report`] — tiny text-rendering helpers shared by the experiment
 //!   outputs.
+//! * [`scenario_run`] — the scenario DSL runner: interprets declarative
+//!   scenario files (`fiveg-scenario`) into survey or UE-fleet
+//!   simulations with fault injection, runnable as campaign jobs.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@ pub mod jobs;
 pub mod par;
 pub mod report;
 pub mod scenario;
+pub mod scenario_run;
 
 pub use scenario::{Fidelity, Scenario};
 
@@ -53,5 +57,6 @@ pub use fiveg_geo as geo;
 pub use fiveg_net as net;
 pub use fiveg_phy as phy;
 pub use fiveg_ran as ran;
+pub use fiveg_scenario as scenario_dsl;
 pub use fiveg_simcore as simcore;
 pub use fiveg_transport as transport;

@@ -1,0 +1,922 @@
+//! The scenario-driven experiment runner.
+//!
+//! Interprets a parsed [`ScenarioSpec`] (the `fiveg-scenario` DSL) into
+//! a running simulation:
+//!
+//! * `survey` workloads run the Sec. 3.1 blanket road survey through
+//!   [`coverage::table1_with`] — a paper-default scenario file is
+//!   byte-faithful to the registry's `table1` job.
+//! * `fleet` workloads tick a UE population (mobility + arrival + app
+//!   mix per group) against the shared [`RadioEnv`], with PRB sharing
+//!   per cell and the scenario's fault schedule applied as timed
+//!   events: cell outages, backhaul brownouts and hand-off storms.
+//!
+//! Determinism contract: the deployment (campus + radio environment)
+//! is built from the campaign's *base* seed, so a scenario describes
+//! the same network as every registry job; all fleet-private
+//! randomness (waypoints, arrivals, page sizes) derives from the
+//! per-job seed. The tick loop is serial, so artifact bytes and obs
+//! counters are independent of `--jobs`.
+
+use crate::experiments::coverage;
+use crate::report;
+use crate::Scenario;
+use fiveg_campaign::{Job, JobCtx, JobOutput};
+use fiveg_geo::{Campus, CampusConfig, LinearTransect, Point, RandomWaypoint};
+use fiveg_phy::{CellMeasurement, MeasureScratch, RadioEnv, Tech};
+use fiveg_scenario::{
+    AppSpec, ArrivalSpec, FaultSpec, FleetSpec, MobilitySpec, ScenarioSpec, SceneSpec, TechSpec,
+    UeGroupSpec, VideoRes, WebCategory, WorkloadSpec,
+};
+use fiveg_simcore::{OnlineStats, SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Hand-off hysteresis outside storm windows, dB (3GPP-typical A3
+/// margin, also used by the Sec. 3.4 hand-off study).
+pub const DEFAULT_HYSTERESIS_DB: f64 = 3.0;
+
+/// Builds the simulation deployment a scenario describes.
+///
+/// With a default `campus` and `loads` block this reconstructs
+/// [`Scenario::paper`]`(base_seed)` exactly — same campus generation
+/// stream, same `seed ^ 0x5eed` environment derivation — which is what
+/// makes DSL artifacts comparable against registry goldens.
+pub fn build_scenario(spec: &ScenarioSpec, base_seed: u64) -> Scenario {
+    let cfg = CampusConfig {
+        width: spec.campus.width_m,
+        height: spec.campus.height_m,
+        num_enb_sites: spec.campus.enb_sites as usize,
+        num_gnb_sites: spec.campus.gnb_sites as usize,
+        concrete_fraction: spec.campus.concrete_fraction,
+    };
+    let campus = Campus::generate(&cfg, &mut SimRng::new(base_seed));
+    let (lte_load, nr_load) = spec.loads.resolve();
+    let env = RadioEnv::from_campus(&campus, base_seed ^ 0x5eed, lte_load, nr_load);
+    Scenario {
+        campus,
+        env,
+        seed: base_seed,
+    }
+}
+
+/// Per-group results of a fleet run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupReport {
+    /// Group name from the scenario file.
+    pub name: String,
+    /// Radio access technology (`lte`/`nr`).
+    pub tech: String,
+    /// Application kind (`bulk`/`video`/`web`).
+    pub app: String,
+    /// UEs in the group.
+    pub ues: u32,
+    /// UE-ticks the group was active (arrived).
+    pub active_ue_ticks: u64,
+    /// UE-ticks with a serving cell above the service threshold.
+    pub in_service_ticks: u64,
+    /// Mean per-UE downlink bitrate over active ticks, Mbps.
+    pub mean_bitrate_mbps: f64,
+    /// Std-dev of the per-tick bitrates, Mbps.
+    pub std_bitrate_mbps: f64,
+    /// Hand-offs performed by the group's UEs.
+    pub handoffs: u64,
+    /// Bulk app: total megabytes downloaded (0 otherwise).
+    pub bulk_mb: f64,
+    /// Video app: fraction of active ticks the link could not carry the
+    /// stream's bitrate (0 otherwise).
+    pub video_stall_frac: f64,
+    /// Web app: pages fully loaded (0 otherwise).
+    pub web_pages: u64,
+    /// Web app: mean page-load time, seconds (0 when no page finished).
+    pub web_mean_plt_s: f64,
+}
+
+/// Per-fault-event impact accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Fault kind (`cell_outage`/`backhaul_brownout`/`handoff_storm`).
+    pub kind: String,
+    /// Window start, seconds.
+    pub start_s: f64,
+    /// Window end, seconds.
+    pub end_s: f64,
+    /// Impact count; meaning depends on the kind (see `impact_label`).
+    pub impact: u64,
+    /// What `impact` counts.
+    pub impact_label: String,
+}
+
+/// The JSON artifact of a fleet scenario run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Run length, seconds.
+    pub duration_s: u64,
+    /// Tick, milliseconds.
+    pub tick_ms: u64,
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Total UEs in the fleet.
+    pub ues: u32,
+    /// Total hand-offs across all groups.
+    pub handoffs: u64,
+    /// Per-group results, in scenario order.
+    pub groups: Vec<GroupReport>,
+    /// Per-fault impact, in schedule order.
+    pub faults: Vec<FaultReport>,
+}
+
+impl FleetReport {
+    /// Human-readable rendering.
+    pub fn to_text(&self) -> String {
+        let mut s = format!(
+            "== Scenario `{}`: fleet of {} UEs over {} s (tick {} ms) ==\n",
+            self.scenario, self.ues, self.duration_s, self.tick_ms
+        );
+        let rows: Vec<Vec<String>> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let in_service = if g.active_ue_ticks > 0 {
+                    g.in_service_ticks as f64 / g.active_ue_ticks as f64 * 100.0
+                } else {
+                    0.0
+                };
+                let app_note = match g.app.as_str() {
+                    "bulk" => format!("{:.0} MB", g.bulk_mb),
+                    "video" => format!("{:.1}% stall", g.video_stall_frac * 100.0),
+                    _ => format!("{} pages, {:.2} s PLT", g.web_pages, g.web_mean_plt_s),
+                };
+                vec![
+                    g.name.clone(),
+                    g.tech.clone(),
+                    g.app.clone(),
+                    g.ues.to_string(),
+                    format!("{:.1}", g.mean_bitrate_mbps),
+                    format!("{in_service:.1}%"),
+                    g.handoffs.to_string(),
+                    app_note,
+                ]
+            })
+            .collect();
+        s += &report::table(
+            "fleet groups",
+            &[
+                "group", "tech", "app", "UEs", "Mbps", "in-svc", "HOs", "app",
+            ],
+            &rows,
+        );
+        for f in &self.faults {
+            s += &format!(
+                "fault {} [{}, {}) s: {} {}\n",
+                f.kind, f.start_s, f.end_s, f.impact, f.impact_label
+            );
+        }
+        s += &format!("total hand-offs: {}\n", self.handoffs);
+        s
+    }
+}
+
+/// The fault state in force at one instant.
+struct ActiveFaults {
+    /// Cells currently down.
+    outaged: BTreeSet<u16>,
+    /// Tightest active backhaul cap, Mbps.
+    backhaul_mbps: Option<f64>,
+    /// Effective hand-off hysteresis, dB.
+    hysteresis_db: f64,
+}
+
+/// Resolves the fault schedule at time `t_s`. Overlapping windows
+/// compose: outage sets union, brownout caps take the minimum, the
+/// last listed storm wins.
+fn faults_at(faults: &[FaultSpec], t_s: f64) -> ActiveFaults {
+    let mut active = ActiveFaults {
+        outaged: BTreeSet::new(),
+        backhaul_mbps: None,
+        hysteresis_db: DEFAULT_HYSTERESIS_DB,
+    };
+    for f in faults {
+        let (start, end) = f.window();
+        if !(t_s >= start && t_s < end) {
+            continue;
+        }
+        match f {
+            FaultSpec::CellOutage { pcis, .. } => active.outaged.extend(pcis.iter().copied()),
+            FaultSpec::BackhaulBrownout { capacity_mbps, .. } => {
+                active.backhaul_mbps = Some(
+                    active
+                        .backhaul_mbps
+                        .map_or(*capacity_mbps, |c| c.min(*capacity_mbps)),
+                );
+            }
+            FaultSpec::HandoffStorm { hysteresis_db, .. } => {
+                active.hysteresis_db = *hysteresis_db;
+            }
+        }
+    }
+    active
+}
+
+/// Per-UE application state.
+enum AppState {
+    Bulk {
+        mb: f64,
+    },
+    Video {
+        demand_mbps: f64,
+        stall_ticks: u64,
+    },
+    Web {
+        category: WebCategory,
+        think_s: f64,
+        /// Remaining payload of the page in flight, megabits.
+        remaining_mbit: f64,
+        /// Download time accumulated on the page in flight, seconds.
+        elapsed_s: f64,
+        /// Think time left before the next page starts, seconds.
+        think_left_s: f64,
+        pages: u64,
+        plt_total_s: f64,
+    },
+}
+
+/// One simulated UE.
+struct Ue {
+    group: usize,
+    tech: Tech,
+    arrival_tick: u64,
+    /// Position per tick: either fixed or a precomputed path.
+    path: UePath,
+    serving: Option<CellMeasurement>,
+    app: AppState,
+    rng: SimRng,
+}
+
+enum UePath {
+    Fixed(Point),
+    /// Walk the points forward; hold the last one.
+    Walk(Vec<Point>),
+    /// Walk the points forward and back, repeating.
+    PingPong(Vec<Point>),
+}
+
+impl UePath {
+    fn at(&self, tick: u64) -> Point {
+        match self {
+            UePath::Fixed(p) => *p,
+            UePath::Walk(pts) => {
+                let idx = (tick as usize).min(pts.len() - 1);
+                pts[idx]
+            }
+            UePath::PingPong(pts) => {
+                if pts.len() == 1 {
+                    return pts[0];
+                }
+                let period = 2 * (pts.len() - 1);
+                let phase = (tick as usize) % period;
+                let idx = if phase < pts.len() {
+                    phase
+                } else {
+                    period - phase
+                };
+                pts[idx]
+            }
+        }
+    }
+}
+
+fn random_outdoor_point(map: &fiveg_geo::CampusMap, rng: &mut SimRng) -> Point {
+    for _ in 0..10_000 {
+        let p = Point::new(
+            rng.range_f64(map.bounds.min.x, map.bounds.max.x),
+            rng.range_f64(map.bounds.min.y, map.bounds.max.y),
+        );
+        if !map.is_indoor(p) {
+            return p;
+        }
+    }
+    map.bounds.center()
+}
+
+/// Draws a UE's session start, seconds into the run.
+fn sample_arrival(arrival: &ArrivalSpec, duration_s: f64, rng: &mut SimRng) -> f64 {
+    match arrival {
+        ArrivalSpec::Steady => rng.f64() * duration_s,
+        ArrivalSpec::Diurnal { peak_frac } => {
+            // Raised-cosine density over the window, rejection-sampled.
+            // Acceptance averages 1/2, so the loop is short; cap it for
+            // pathological RNG streams.
+            for _ in 0..1000 {
+                let u = rng.f64();
+                let w = 0.5 * (1.0 + (std::f64::consts::TAU * (u - peak_frac)).cos());
+                if rng.chance(w) {
+                    return u * duration_s;
+                }
+            }
+            0.0
+        }
+        ArrivalSpec::FlashCrowd { at_s, spread_s } => {
+            // Exponential burst after `at_s`, clamped into the run.
+            let delay = -(1.0 - rng.f64()).ln() * spread_s;
+            (at_s + delay).min(duration_s - 1e-9)
+        }
+    }
+}
+
+fn build_ue(
+    sc: &Scenario,
+    group_idx: usize,
+    g: &UeGroupSpec,
+    ue_idx: u64,
+    fleet: &FleetSpec,
+    run_seed: u64,
+) -> Ue {
+    let base = SimRng::new(run_seed).substream(&g.name);
+    let mut mobility_rng = base.substream_idx("mobility", ue_idx);
+    let mut arrival_rng = base.substream_idx("arrival", ue_idx);
+    let app_rng = base.substream_idx("app", ue_idx);
+    let tick = SimDuration::from_millis(fleet.tick_ms);
+    let tick_s = tick.as_secs_f64();
+    let path = match &g.mobility {
+        MobilitySpec::Static => {
+            UePath::Fixed(random_outdoor_point(&sc.campus.map, &mut mobility_rng))
+        }
+        MobilitySpec::Waypoint {
+            speed_min_kmh,
+            speed_max_kmh,
+        } => {
+            let trace = RandomWaypoint {
+                speed_min_kmh: *speed_min_kmh,
+                speed_max_kmh: *speed_max_kmh,
+                duration: SimDuration::from_secs(fleet.duration_s),
+                interval: tick,
+            }
+            .generate(&sc.campus.map, &mut mobility_rng);
+            UePath::Walk(trace.points.iter().map(|p| p.pos).collect())
+        }
+        MobilitySpec::Transect {
+            from,
+            to,
+            speed_kmh,
+        } => {
+            let trace = LinearTransect {
+                from: Point::new(from.0, from.1),
+                to: Point::new(to.0, to.1),
+                speed_kmh: *speed_kmh,
+                interval: tick,
+            }
+            .generate();
+            UePath::PingPong(trace.points.iter().map(|p| p.pos).collect())
+        }
+    };
+    let arrival_s = sample_arrival(&g.arrival, fleet.duration_s as f64, &mut arrival_rng);
+    let app = match &g.app {
+        AppSpec::Bulk => AppState::Bulk { mb: 0.0 },
+        AppSpec::Video { resolution, scene } => AppState::Video {
+            demand_mbps: video_resolution(*resolution).mean_mbps(scene_kind(*scene)),
+            stall_ticks: 0,
+        },
+        AppSpec::Web { category, think_s } => AppState::Web {
+            category: *category,
+            think_s: *think_s,
+            remaining_mbit: 0.0,
+            elapsed_s: 0.0,
+            think_left_s: 0.0,
+            pages: 0,
+            plt_total_s: 0.0,
+        },
+    };
+    Ue {
+        group: group_idx,
+        tech: match g.tech {
+            TechSpec::Lte => Tech::Lte,
+            TechSpec::Nr => Tech::Nr,
+        },
+        arrival_tick: (arrival_s / tick_s) as u64,
+        path,
+        serving: None,
+        app,
+        rng: app_rng,
+    }
+}
+
+fn video_resolution(r: VideoRes) -> fiveg_apps::Resolution {
+    match r {
+        VideoRes::P720 => fiveg_apps::Resolution::P720,
+        VideoRes::P1080 => fiveg_apps::Resolution::P1080,
+        VideoRes::K4 => fiveg_apps::Resolution::K4,
+        VideoRes::K57 => fiveg_apps::Resolution::K57,
+    }
+}
+
+fn scene_kind(s: SceneSpec) -> fiveg_apps::SceneKind {
+    match s {
+        SceneSpec::Static => fiveg_apps::SceneKind::Static,
+        SceneSpec::Dynamic => fiveg_apps::SceneKind::Dynamic,
+    }
+}
+
+fn web_category(c: WebCategory) -> fiveg_apps::PageCategory {
+    match c {
+        WebCategory::Search => fiveg_apps::PageCategory::Search,
+        WebCategory::Image => fiveg_apps::PageCategory::Image,
+        WebCategory::Shopping => fiveg_apps::PageCategory::Shopping,
+        WebCategory::Map => fiveg_apps::PageCategory::Map,
+        WebCategory::Video => fiveg_apps::PageCategory::Video,
+    }
+}
+
+/// Advances a UE's application by one tick at `bitrate_mbps`.
+fn tick_app(ue: &mut Ue, bitrate_mbps: f64, tick_s: f64) {
+    match &mut ue.app {
+        AppState::Bulk { mb } => *mb += bitrate_mbps * tick_s / 8.0,
+        AppState::Video {
+            demand_mbps,
+            stall_ticks,
+        } => {
+            if bitrate_mbps < *demand_mbps {
+                *stall_ticks += 1;
+            }
+        }
+        AppState::Web {
+            category,
+            think_s,
+            remaining_mbit,
+            elapsed_s,
+            think_left_s,
+            pages,
+            plt_total_s,
+        } => {
+            let mut budget_s = tick_s;
+            while budget_s > 1e-12 {
+                if *think_left_s > 0.0 {
+                    let used = budget_s.min(*think_left_s);
+                    *think_left_s -= used;
+                    budget_s -= used;
+                    continue;
+                }
+                if *remaining_mbit <= 0.0 {
+                    // Start the next page.
+                    let page = fiveg_apps::WebPage::sample(web_category(*category), &mut ue.rng);
+                    *remaining_mbit = page.size_bytes as f64 * 8.0 / 1e6;
+                    *elapsed_s = 0.0;
+                }
+                if bitrate_mbps <= 0.0 {
+                    // Stalled: the whole remaining budget burns away.
+                    *elapsed_s += budget_s;
+                    break;
+                }
+                let need_s = *remaining_mbit / bitrate_mbps;
+                if need_s <= budget_s {
+                    // Page completes this tick.
+                    *elapsed_s += need_s;
+                    budget_s -= need_s;
+                    let size_mb = *remaining_mbit / 8.0;
+                    let plt = *elapsed_s + web_category(*category).render_seconds(size_mb);
+                    *pages += 1;
+                    *plt_total_s += plt;
+                    *remaining_mbit = 0.0;
+                    *elapsed_s = 0.0;
+                    // Exponential think time with the configured mean.
+                    *think_left_s = if *think_s > 0.0 {
+                        -(1.0 - ue.rng.f64()).ln() * *think_s
+                    } else {
+                        0.0
+                    };
+                } else {
+                    *remaining_mbit -= bitrate_mbps * budget_s;
+                    *elapsed_s += budget_s;
+                    budget_s = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Runs a fleet workload against a built scenario. `run_seed` drives
+/// all fleet-private randomness (the per-job derived seed).
+pub fn run_fleet(
+    sc: &Scenario,
+    spec: &ScenarioSpec,
+    fleet: &FleetSpec,
+    run_seed: u64,
+) -> FleetReport {
+    let tick_s = SimDuration::from_millis(fleet.tick_ms).as_secs_f64();
+    let ticks = (fleet.duration_s as f64 / tick_s).round() as u64;
+    // Build the fleet in scenario order; every UE owns independent RNG
+    // substreams keyed by (group name, index), so group order never
+    // perturbs another group's randomness.
+    let mut ues: Vec<Ue> = Vec::new();
+    for (gi, g) in fleet.groups.iter().enumerate() {
+        for i in 0..u64::from(g.count) {
+            ues.push(build_ue(sc, gi, g, i, fleet, run_seed));
+        }
+    }
+    let mut group_bitrate: Vec<OnlineStats> =
+        fleet.groups.iter().map(|_| OnlineStats::new()).collect();
+    let mut group_active: Vec<u64> = vec![0; fleet.groups.len()];
+    let mut group_in_service: Vec<u64> = vec![0; fleet.groups.len()];
+    let mut group_handoffs: Vec<u64> = vec![0; fleet.groups.len()];
+    let mut fault_impact: Vec<u64> = vec![0; spec.faults.len()];
+    let mut total_handoffs = 0u64;
+    let mut kpi_samples = 0u64;
+    let mut scratch = MeasureScratch::new();
+    let mut attached: Vec<u32> = vec![0; sc.env.cells.len()];
+    // Pass-1 results carried into pass 2: (ue index, cell index,
+    // measurement, position).
+    let mut plan: Vec<(usize, usize, CellMeasurement, Point)> = Vec::new();
+
+    for tick in 0..ticks {
+        let t_s = tick as f64 * tick_s;
+        let active = faults_at(&spec.faults, t_s);
+        attached.iter_mut().for_each(|c| *c = 0);
+        plan.clear();
+
+        // Pass 1: serving-cell decisions and per-cell attach counts.
+        for (ui, ue) in ues.iter_mut().enumerate() {
+            if tick < ue.arrival_tick {
+                continue;
+            }
+            group_active[ue.group] += 1;
+            let pos = ue.path.at(tick);
+            let all = sc.env.measure_all_into(pos, ue.tech, &mut scratch);
+            kpi_samples += 1;
+            let best = all
+                .iter()
+                .find(|m| !active.outaged.contains(&m.pci))
+                .copied();
+            // Track outage denials: the top-ranked cell exists but is
+            // administratively down.
+            if let Some(top) = all.first() {
+                if active.outaged.contains(&top.pci) {
+                    if let Some(fi) = spec.faults.iter().position(|f| {
+                        let (s, e) = f.window();
+                        matches!(f, FaultSpec::CellOutage { pcis, .. } if pcis.contains(&top.pci))
+                            && t_s >= s
+                            && t_s < e
+                    }) {
+                        fault_impact[fi] += 1;
+                    }
+                }
+            }
+            let current = ue
+                .serving
+                .filter(|m| !active.outaged.contains(&m.pci))
+                .and_then(|m| all.iter().find(|n| n.pci == m.pci).copied());
+            let next = match (current, best) {
+                (None, Some(b)) => {
+                    if ue.serving.is_some() {
+                        // Lost the old cell (outage or out of range).
+                        group_handoffs[ue.group] += 1;
+                        total_handoffs += 1;
+                        note_storm_handoff(spec, t_s, &mut fault_impact);
+                    }
+                    Some(b)
+                }
+                (Some(c), Some(b)) => {
+                    if b.pci != c.pci && b.rsrp.value() > c.rsrp.value() + active.hysteresis_db {
+                        group_handoffs[ue.group] += 1;
+                        total_handoffs += 1;
+                        note_storm_handoff(spec, t_s, &mut fault_impact);
+                        Some(b)
+                    } else {
+                        Some(c)
+                    }
+                }
+                (Some(c), None) => Some(c),
+                (None, None) => None,
+            };
+            ue.serving = next;
+            if let Some(m) = next {
+                if let Some(idx) = sc.env.cell_index(m.pci) {
+                    attached[idx] += 1;
+                    plan.push((ui, idx, m, pos));
+                }
+            }
+        }
+
+        // Pass 2: KPIs under PRB sharing, backhaul cap, app progress.
+        let in_service_now = plan.len().max(1) as f64;
+        let backhaul_share = active.backhaul_mbps.map(|c| c / in_service_now);
+        for &(ui, cell_idx, m, pos) in &plan {
+            let prb = 1.0 / f64::from(attached[cell_idx].max(1));
+            let kpi = sc.env.kpi_for(m, pos, prb);
+            let mut bitrate = if kpi.in_service {
+                kpi.bitrate.mbps()
+            } else {
+                0.0
+            };
+            if let Some(share) = backhaul_share {
+                if bitrate > share {
+                    bitrate = share;
+                    if let Some(fi) = brownout_index(spec, t_s) {
+                        fault_impact[fi] += 1;
+                    }
+                }
+            }
+            let ue = &mut ues[ui];
+            if kpi.in_service {
+                group_in_service[ue.group] += 1;
+            }
+            group_bitrate[ue.group].push(bitrate);
+            tick_app(ue, bitrate, tick_s);
+        }
+        // UEs that are active but unattached still burn app time at
+        // zero bitrate (video stalls, pages hang).
+        for ue in &mut ues {
+            if tick >= ue.arrival_tick && ue.serving.is_none() {
+                group_bitrate[ue.group].push(0.0);
+                tick_app(ue, 0.0, tick_s);
+            }
+        }
+    }
+
+    fiveg_obs::counter_add("scenario.ticks", ticks);
+    fiveg_obs::counter_add("scenario.kpi.samples", kpi_samples);
+    fiveg_obs::counter_add("scenario.handoffs", total_handoffs);
+    fiveg_obs::counter_add("scenario.faults", spec.faults.len() as u64);
+
+    let groups = fleet
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| {
+            let mut bulk_mb = 0.0;
+            let mut stall_ticks = 0u64;
+            let mut video_active = 0u64;
+            let mut web_pages = 0u64;
+            let mut plt_total = 0.0;
+            for ue in ues.iter().filter(|u| u.group == gi) {
+                match &ue.app {
+                    AppState::Bulk { mb } => bulk_mb += mb,
+                    AppState::Video { stall_ticks: s, .. } => {
+                        stall_ticks += s;
+                        video_active += 1;
+                    }
+                    AppState::Web {
+                        pages, plt_total_s, ..
+                    } => {
+                        web_pages += pages;
+                        plt_total += plt_total_s;
+                    }
+                }
+            }
+            let video_stall_frac = if video_active > 0 && group_active[gi] > 0 {
+                stall_ticks as f64 / group_active[gi] as f64
+            } else {
+                0.0
+            };
+            GroupReport {
+                name: g.name.clone(),
+                tech: g.tech.name().to_string(),
+                app: g.app.kind().to_string(),
+                ues: g.count,
+                active_ue_ticks: group_active[gi],
+                in_service_ticks: group_in_service[gi],
+                mean_bitrate_mbps: zero_if_nan(group_bitrate[gi].mean()),
+                std_bitrate_mbps: zero_if_nan(group_bitrate[gi].std_dev()),
+                handoffs: group_handoffs[gi],
+                bulk_mb,
+                video_stall_frac,
+                web_pages,
+                web_mean_plt_s: if web_pages > 0 {
+                    plt_total / web_pages as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    let faults = spec
+        .faults
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let (start_s, end_s) = f.window();
+            FaultReport {
+                kind: f.kind().to_string(),
+                start_s,
+                end_s,
+                impact: fault_impact[i],
+                impact_label: match f {
+                    FaultSpec::CellOutage { .. } => "UE-ticks denied their best cell".to_string(),
+                    FaultSpec::BackhaulBrownout { .. } => "UE-ticks capped by backhaul".to_string(),
+                    FaultSpec::HandoffStorm { .. } => "hand-offs during the storm".to_string(),
+                },
+            }
+        })
+        .collect();
+    FleetReport {
+        scenario: spec.name.clone(),
+        duration_s: fleet.duration_s,
+        tick_ms: fleet.tick_ms,
+        ticks,
+        ues: fleet.groups.iter().map(|g| g.count).sum(),
+        handoffs: total_handoffs,
+        groups,
+        faults,
+    }
+}
+
+fn zero_if_nan(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v
+    }
+}
+
+fn note_storm_handoff(spec: &ScenarioSpec, t_s: f64, fault_impact: &mut [u64]) {
+    for (i, f) in spec.faults.iter().enumerate() {
+        if let FaultSpec::HandoffStorm { start_s, end_s, .. } = f {
+            if t_s >= *start_s && t_s < *end_s {
+                fault_impact[i] += 1;
+            }
+        }
+    }
+}
+
+fn brownout_index(spec: &ScenarioSpec, t_s: f64) -> Option<usize> {
+    spec.faults.iter().position(|f| {
+        matches!(f, FaultSpec::BackhaulBrownout { .. }) && {
+            let (s, e) = f.window();
+            t_s >= s && t_s < e
+        }
+    })
+}
+
+/// A scenario file as a campaign job (section `scenario`).
+///
+/// The deployment builds from the campaign's base seed, the workload's
+/// private randomness from the per-unit derived seed — the same split
+/// the registry jobs use. Survey workloads serialise a
+/// [`coverage::Table1`]; fleet workloads a [`FleetReport`].
+pub struct ScenarioJob {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioJob {
+    /// Wraps a validated spec.
+    pub fn new(spec: ScenarioSpec) -> ScenarioJob {
+        ScenarioJob { spec }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+}
+
+impl Job for ScenarioJob {
+    fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    fn section(&self) -> &str {
+        "scenario"
+    }
+
+    fn run(&self, ctx: &JobCtx) -> Result<JobOutput, String> {
+        let sc = build_scenario(&self.spec, ctx.base_seed);
+        match &self.spec.workload {
+            WorkloadSpec::Survey(s) => {
+                let survey = fiveg_geo::RoadSurvey {
+                    speed_kmh: s.speed_kmh,
+                    interval: SimDuration::from_millis(s.interval_ms),
+                };
+                let t = coverage::table1_with(&sc, &survey);
+                let json =
+                    serde_json::to_string_pretty(&t).map_err(|e| format!("serialise: {e}"))?;
+                Ok(JobOutput::new(t.to_text(), json))
+            }
+            WorkloadSpec::Fleet(f) => {
+                let r = run_fleet(&sc, &self.spec, f, ctx.seed);
+                let json =
+                    serde_json::to_string_pretty(&r).map_err(|e| format!("serialise: {e}"))?;
+                Ok(JobOutput::new(r.to_text(), json))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_campaign::derive_seed;
+    use fiveg_scenario::parse_scenario;
+
+    fn paper_survey_spec() -> ScenarioSpec {
+        parse_scenario(
+            r#"{ "name": "paper_campus", "workload": { "kind": "survey" } }"#,
+            "mem",
+        )
+        .expect("parses")
+    }
+
+    #[test]
+    fn default_scenario_rebuilds_the_paper_deployment() {
+        let spec = paper_survey_spec();
+        let sc = build_scenario(&spec, 2020);
+        let paper = Scenario::paper(2020);
+        assert_eq!(sc.campus.plan, paper.campus.plan);
+        assert_eq!(sc.env.num_cells(Tech::Lte), 34);
+        assert_eq!(sc.env.num_cells(Tech::Nr), 13);
+    }
+
+    #[test]
+    fn survey_scenario_is_byte_identical_to_table1_job() {
+        let spec = paper_survey_spec();
+        let job = ScenarioJob::new(spec);
+        let ctx = JobCtx {
+            seed: derive_seed(2020, "paper_campus", 0),
+            base_seed: 2020,
+            fidelity: fiveg_campaign::FidelityLevel::Quick,
+            rep: 0,
+        };
+        let out = job.run(&ctx).expect("runs");
+        let t = coverage::table1(&Scenario::paper(2020));
+        let expected = serde_json::to_string_pretty(&t).expect("serialises");
+        assert_eq!(out.json, expected);
+    }
+
+    #[test]
+    fn fleet_scenario_runs_and_faults_bite() {
+        let spec = parse_scenario(
+            r#"{
+  "name": "outage_t",
+  "workload": { "kind": "fleet", "duration_s": 40, "tick_ms": 1000, "groups": [
+    { "name": "walkers", "count": 6, "tech": "nr",
+      "mobility": { "model": "waypoint", "speed_min_kmh": 3, "speed_max_kmh": 10 },
+      "arrival": { "process": "steady" }, "app": { "kind": "bulk" } } ] },
+  "faults": [ { "kind": "cell_outage", "start_s": 10, "end_s": 30,
+                "pcis": [60, 61, 62, 63, 64, 65, 66, 67, 68, 69, 70, 71, 72] } ]
+}"#,
+            "mem",
+        )
+        .expect("parses");
+        let sc = build_scenario(&spec, 2020);
+        let fleet = match &spec.workload {
+            WorkloadSpec::Fleet(f) => f.clone(),
+            WorkloadSpec::Survey(_) => unreachable!(),
+        };
+        let r = run_fleet(&sc, &spec, &fleet, 7);
+        assert_eq!(r.ticks, 40);
+        assert_eq!(r.ues, 6);
+        assert_eq!(r.groups.len(), 1);
+        assert!(r.groups[0].active_ue_ticks > 0);
+        // The outage takes down every NR cell for half the run: UEs must
+        // have been denied their best cell at least once.
+        assert!(r.faults[0].impact > 0, "{:?}", r.faults);
+        assert!(!r.to_text().is_empty());
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let spec = parse_scenario(
+            r#"{ "name": "det", "workload": { "kind": "fleet", "duration_s": 20,
+                 "tick_ms": 1000, "groups": [
+                 { "name": "g", "count": 4, "tech": "nr",
+                   "mobility": { "model": "waypoint" },
+                   "arrival": { "process": "flash_crowd", "at_s": 2, "spread_s": 1 },
+                   "app": { "kind": "video", "resolution": "4k", "scene": "dynamic" } } ] } }"#,
+            "mem",
+        )
+        .expect("parses");
+        let sc = build_scenario(&spec, 11);
+        let fleet = match &spec.workload {
+            WorkloadSpec::Fleet(f) => f.clone(),
+            WorkloadSpec::Survey(_) => unreachable!(),
+        };
+        let a = run_fleet(&sc, &spec, &fleet, 99);
+        let b = run_fleet(&sc, &spec, &fleet, 99);
+        assert_eq!(
+            serde_json::to_string(&a).expect("json"),
+            serde_json::to_string(&b).expect("json")
+        );
+    }
+
+    #[test]
+    fn web_app_loads_pages() {
+        let spec = parse_scenario(
+            r#"{ "name": "web_t", "workload": { "kind": "fleet", "duration_s": 60,
+                 "tick_ms": 1000, "groups": [
+                 { "name": "readers", "count": 3, "tech": "lte",
+                   "mobility": { "model": "static" },
+                   "arrival": { "process": "steady" },
+                   "app": { "kind": "web", "category": "search", "think_s": 2 } } ] } }"#,
+            "mem",
+        )
+        .expect("parses");
+        let sc = build_scenario(&spec, 2020);
+        let fleet = match &spec.workload {
+            WorkloadSpec::Fleet(f) => f.clone(),
+            WorkloadSpec::Survey(_) => unreachable!(),
+        };
+        let r = run_fleet(&sc, &spec, &fleet, 3);
+        assert!(r.groups[0].web_pages > 0, "{:?}", r.groups);
+        assert!(r.groups[0].web_mean_plt_s > 0.0);
+    }
+}

@@ -253,8 +253,15 @@ impl Parser<'_> {
                     // byte stream is valid UTF-8).
                     let rest = &self.bytes[self.pos..];
                     let s = unsafe_free_utf8_prefix(rest);
-                    out.push_str(s);
-                    self.pos += s.len();
+                    if s.is_empty() {
+                        // Invalid UTF-8 (unreachable for `&str` input):
+                        // substitute and advance so the loop terminates.
+                        out.push('\u{fffd}');
+                        self.pos += 1;
+                    } else {
+                        out.push_str(s);
+                        self.pos += s.len();
+                    }
                 }
             }
         }
@@ -271,7 +278,11 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number chars");
+        // The scanned bytes are all ASCII, so this cannot fail; the
+        // error arm keeps the parser total instead of panicking.
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return Err(self.err("invalid number"));
+        };
         if let Ok(u) = text.parse::<u64>() {
             return Ok(JsonValue::UInt(u));
         }
@@ -282,13 +293,21 @@ impl Parser<'_> {
 }
 
 /// Longest prefix of `bytes` that contains no `"` or `\` — returned as
-/// `&str` (caller guarantees the input came from a `&str`).
+/// `&str`. The input comes from a `&str`, so the prefix is valid UTF-8;
+/// should that invariant ever break, the valid prefix is returned and
+/// the caller substitutes the offending byte.
 fn unsafe_free_utf8_prefix(bytes: &[u8]) -> &str {
     let end = bytes
         .iter()
         .position(|&b| b == b'"' || b == b'\\')
         .unwrap_or(bytes.len());
-    std::str::from_utf8(&bytes[..end]).expect("input was a &str")
+    match std::str::from_utf8(&bytes[..end]) {
+        Ok(s) => s,
+        Err(e) => {
+            // `valid_up_to` is a char boundary, so re-slicing succeeds.
+            std::str::from_utf8(&bytes[..e.valid_up_to()]).unwrap_or("")
+        }
+    }
 }
 
 #[cfg(test)]

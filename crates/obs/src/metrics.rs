@@ -197,7 +197,7 @@ impl MetricsHandle {
     pub fn counter(&self, name: &'static str) -> Counter {
         self.inner
             .lock()
-            .expect("metrics mutex")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .counters
             .entry(name)
             .or_default()
@@ -208,7 +208,7 @@ impl MetricsHandle {
     pub fn gauge(&self, name: &'static str) -> MaxGauge {
         self.inner
             .lock()
-            .expect("metrics mutex")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .gauges
             .entry(name)
             .or_default()
@@ -224,7 +224,7 @@ impl MetricsHandle {
         let h = self
             .inner
             .lock()
-            .expect("metrics mutex")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .histograms
             .entry(name)
             .or_insert_with(|| Arc::new(Histogram::new(edges)))
@@ -242,7 +242,7 @@ impl MetricsHandle {
         let stats = self
             .inner
             .lock()
-            .expect("metrics mutex")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .spans
             .entry(name)
             .or_default()
@@ -255,7 +255,10 @@ impl MetricsHandle {
 
     /// Freezes every instrument into a deterministic snapshot.
     pub fn snapshot(&self) -> Snapshot {
-        let inner = self.inner.lock().expect("metrics mutex");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Snapshot {
             counters: inner
                 .counters

@@ -1,0 +1,230 @@
+//! `scen`: the scenario-file tool.
+//!
+//! Checks, canonically formats and grid-expands scenario files. The
+//! library does all the work; this binary is argument parsing, file
+//! IO and exit codes (0 ok, 1 check/fmt difference, 2 usage or IO
+//! error) so CI stages can gate on it.
+
+use fiveg_scenario::{emit_scenario, expand, parse_family, parse_scenario};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage: scen <COMMAND> [ARGS]
+
+Scenario-file tool: validate, canonically format, expand families.
+
+Commands:
+  check FILE...           parse and validate scenario files; errors carry
+                          file:line locations
+  fmt [--check] FILE...   rewrite scenario files into canonical form;
+                          with --check, only report files that would
+                          change (exit 1) without writing
+  expand FAMILY --out DIR expand a family file (base scenario + sweep
+                          axes) into one canonical scenario file per
+                          grid point under DIR
+  -h, --help              show this help
+";
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
+}
+
+fn cmd_check(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("error: check needs at least one FILE\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut bad = 0usize;
+    for file in files {
+        let path = Path::new(file);
+        let src = match read(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        match parse_scenario(&src, file) {
+            Ok(spec) => {
+                let workload = match &spec.workload {
+                    fiveg_scenario::WorkloadSpec::Survey(_) => "survey".to_string(),
+                    fiveg_scenario::WorkloadSpec::Fleet(f) => {
+                        let ues: u64 = f.groups.iter().map(|g| u64::from(g.count)).sum();
+                        format!(
+                            "fleet ({} groups, {ues} UEs, {} s)",
+                            f.groups.len(),
+                            f.duration_s
+                        )
+                    }
+                };
+                eprintln!(
+                    "ok      {file}: `{}` {workload}, {} faults",
+                    spec.name,
+                    spec.faults.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("{bad} of {} files failed", files.len());
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_fmt(args: &[String]) -> ExitCode {
+    let check_only = args.first().map(String::as_str) == Some("--check");
+    let files = if check_only { &args[1..] } else { args };
+    if files.is_empty() {
+        eprintln!("error: fmt needs at least one FILE\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut changed = 0usize;
+    let mut bad = 0usize;
+    for file in files {
+        let path = Path::new(file);
+        let src = match read(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        let spec = match parse_scenario(&src, file) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        let canonical = emit_scenario(&spec);
+        if canonical == src {
+            continue;
+        }
+        changed += 1;
+        if check_only {
+            eprintln!("would reformat {file}");
+        } else if let Err(e) = std::fs::write(path, &canonical) {
+            eprintln!("error: writing {}: {e}", path.display());
+            bad += 1;
+        } else {
+            eprintln!("reformatted {file}");
+        }
+    }
+    if bad > 0 {
+        ExitCode::from(2)
+    } else if check_only && changed > 0 {
+        eprintln!(
+            "{changed} of {} files are not canonical (run `scen fmt`)",
+            files.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_expand(args: &[String]) -> ExitCode {
+    let mut family_file: Option<String> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --out requires a value\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other if family_file.is_none() && !other.starts_with('-') => {
+                family_file = Some(other.to_string());
+            }
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(family_file), Some(out_dir)) = (family_file, out_dir) else {
+        eprintln!("error: expand needs a FAMILY file and --out DIR\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let src = match read(Path::new(&family_file)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let family = match parse_family(&src, &family_file) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let variants = match expand(&family) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {family_file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: creating {}: {e}", out_dir.display());
+        return ExitCode::from(2);
+    }
+    for spec in &variants {
+        let path = out_dir.join(format!("{}.json", spec.name));
+        if let Err(e) = std::fs::write(&path, emit_scenario(spec)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    eprintln!(
+        "expanded {} over {} axes into {} variants in {}",
+        family.base.name,
+        family.axes.len(),
+        variants.len(),
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("fmt") => cmd_fmt(&args[1..]),
+        Some("expand") => cmd_expand(&args[1..]),
+        Some("-h" | "--help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

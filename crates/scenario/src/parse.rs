@@ -1,0 +1,790 @@
+//! Strict scenario parsing over the `fiveg-obs` JSON reader.
+//!
+//! Scenario files are machine- and human-written JSON. Parsing is
+//! deliberately strict: unknown keys are rejected (a typo like
+//! `"speeed_kmh"` must fail loudly, not silently fall back to a
+//! default), enum tags must match exactly, and every semantic error
+//! carries `file:line` so a failing campaign names the offending line
+//! of the scenario file rather than a Rust backtrace.
+//!
+//! The `fiveg-obs` reader keeps object keys in a sorted map without
+//! source offsets, so locations for semantic errors are recovered by
+//! scanning the source text for the key token (`"key"` followed by
+//! `:`). Structural errors carry exact byte offsets already.
+
+use crate::spec::{
+    AppSpec, ArrivalSpec, CampusSpec, FaultSpec, FleetSpec, LoadSpec, MobilitySpec, Period,
+    ScenarioSpec, SceneSpec, SurveySpec, TechSpec, UeGroupSpec, VideoRes, WebCategory,
+    WorkloadSpec,
+};
+use fiveg_obs::{parse_json, JsonValue};
+use std::collections::BTreeMap;
+
+/// A scenario parse/validation failure, located in the source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// File the scenario came from (display name, as given).
+    pub file: String,
+    /// 1-based line of the offending token (0 = unknown).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.file, self.line, self.message)
+        } else {
+            write!(f, "{}: {}", self.file, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// 1-based line number of a byte offset in `src`.
+fn line_of_offset(src: &str, offset: usize) -> usize {
+    let upto = offset.min(src.len());
+    1 + src.as_bytes()[..upto]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// Best-effort 1-based line of the JSON key `key` in `src`: the first
+/// `"key"` token whose next non-whitespace byte is `:`. Falls back to
+/// 0 (unknown) when the key cannot be located.
+fn line_of_key(src: &str, key: &str) -> usize {
+    let needle = format!("\"{key}\"");
+    let bytes = src.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = src[from..].find(&needle) {
+        let at = from + rel;
+        let mut after = at + needle.len();
+        while after < bytes.len() && bytes[after].is_ascii_whitespace() {
+            after += 1;
+        }
+        if bytes.get(after) == Some(&b':') {
+            return line_of_offset(src, at);
+        }
+        from = at + needle.len();
+    }
+    0
+}
+
+/// Shared parse context: the raw source for location recovery.
+struct Ctx<'a> {
+    src: &'a str,
+    file: &'a str,
+}
+
+impl Ctx<'_> {
+    fn err_at_key(&self, key: &str, message: String) -> ScenarioError {
+        ScenarioError {
+            file: self.file.to_string(),
+            line: line_of_key(self.src, key),
+            message,
+        }
+    }
+
+    fn err(&self, message: String) -> ScenarioError {
+        ScenarioError {
+            file: self.file.to_string(),
+            line: 0,
+            message,
+        }
+    }
+
+    /// Rejects keys of `map` not in `allowed` — the strictness rule.
+    fn check_keys(
+        &self,
+        map: &BTreeMap<String, JsonValue>,
+        allowed: &[&str],
+        what: &str,
+    ) -> Result<(), ScenarioError> {
+        for key in map.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(self.err_at_key(
+                    key,
+                    format!(
+                        "unknown key `{key}` in {what} (allowed: {})",
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn obj<'v>(
+        &self,
+        v: &'v JsonValue,
+        what: &str,
+        key: &str,
+    ) -> Result<&'v BTreeMap<String, JsonValue>, ScenarioError> {
+        v.as_object()
+            .ok_or_else(|| self.err_at_key(key, format!("{what} must be a JSON object")))
+    }
+
+    fn str_field(
+        &self,
+        map: &BTreeMap<String, JsonValue>,
+        key: &str,
+    ) -> Result<Option<String>, ScenarioError> {
+        match map.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| self.err_at_key(key, format!("`{key}` must be a string"))),
+        }
+    }
+
+    fn req_str(
+        &self,
+        map: &BTreeMap<String, JsonValue>,
+        key: &str,
+        what: &str,
+    ) -> Result<String, ScenarioError> {
+        self.str_field(map, key)?
+            .ok_or_else(|| self.err(format!("{what} is missing required key `{key}`")))
+    }
+
+    fn f64_field(
+        &self,
+        map: &BTreeMap<String, JsonValue>,
+        key: &str,
+    ) -> Result<Option<f64>, ScenarioError> {
+        match map.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| self.err_at_key(key, format!("`{key}` must be a number"))),
+        }
+    }
+
+    fn f64_or(
+        &self,
+        map: &BTreeMap<String, JsonValue>,
+        key: &str,
+        default: f64,
+    ) -> Result<f64, ScenarioError> {
+        Ok(self.f64_field(map, key)?.unwrap_or(default))
+    }
+
+    fn u64_field(
+        &self,
+        map: &BTreeMap<String, JsonValue>,
+        key: &str,
+    ) -> Result<Option<u64>, ScenarioError> {
+        match map.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                self.err_at_key(key, format!("`{key}` must be a non-negative integer"))
+            }),
+        }
+    }
+
+    fn u64_or(
+        &self,
+        map: &BTreeMap<String, JsonValue>,
+        key: &str,
+        default: u64,
+    ) -> Result<u64, ScenarioError> {
+        Ok(self.u64_field(map, key)?.unwrap_or(default))
+    }
+
+    fn u32_or(
+        &self,
+        map: &BTreeMap<String, JsonValue>,
+        key: &str,
+        default: u32,
+    ) -> Result<u32, ScenarioError> {
+        let v = self.u64_or(map, key, u64::from(default))?;
+        u32::try_from(v)
+            .map_err(|_| self.err_at_key(key, format!("`{key}` = {v} does not fit in u32")))
+    }
+
+    fn req_f64(
+        &self,
+        map: &BTreeMap<String, JsonValue>,
+        key: &str,
+        what: &str,
+    ) -> Result<f64, ScenarioError> {
+        self.f64_field(map, key)?
+            .ok_or_else(|| self.err(format!("{what} is missing required key `{key}`")))
+    }
+
+    fn xy_field(
+        &self,
+        map: &BTreeMap<String, JsonValue>,
+        key: &str,
+        what: &str,
+    ) -> Result<(f64, f64), ScenarioError> {
+        let v = map
+            .get(key)
+            .ok_or_else(|| self.err(format!("{what} is missing required key `{key}`")))?;
+        let bad = || self.err_at_key(key, format!("`{key}` must be a [x, y] pair of numbers"));
+        match v {
+            JsonValue::Array(items) if items.len() == 2 => {
+                let x = items[0].as_f64().ok_or_else(bad)?;
+                let y = items[1].as_f64().ok_or_else(bad)?;
+                Ok((x, y))
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
+fn parse_campus(ctx: &Ctx<'_>, v: &JsonValue) -> Result<CampusSpec, ScenarioError> {
+    let map = ctx.obj(v, "`campus`", "campus")?;
+    ctx.check_keys(
+        map,
+        &[
+            "width_m",
+            "height_m",
+            "enb_sites",
+            "gnb_sites",
+            "concrete_fraction",
+        ],
+        "`campus`",
+    )?;
+    let d = CampusSpec::default();
+    Ok(CampusSpec {
+        width_m: ctx.f64_or(map, "width_m", d.width_m)?,
+        height_m: ctx.f64_or(map, "height_m", d.height_m)?,
+        enb_sites: ctx.u32_or(map, "enb_sites", d.enb_sites)?,
+        gnb_sites: ctx.u32_or(map, "gnb_sites", d.gnb_sites)?,
+        concrete_fraction: ctx.f64_or(map, "concrete_fraction", d.concrete_fraction)?,
+    })
+}
+
+fn parse_loads(ctx: &Ctx<'_>, v: &JsonValue) -> Result<LoadSpec, ScenarioError> {
+    let map = ctx.obj(v, "`loads`", "loads")?;
+    ctx.check_keys(map, &["period", "lte", "nr"], "`loads`")?;
+    let period = match self_or_default(ctx.str_field(map, "period")?, "day").as_str() {
+        "day" => Period::Day,
+        "night" => Period::Night,
+        other => {
+            return Err(ctx.err_at_key(
+                "period",
+                format!("unknown period `{other}` (expected `day` or `night`)"),
+            ))
+        }
+    };
+    Ok(LoadSpec {
+        period,
+        lte: ctx.f64_field(map, "lte")?,
+        nr: ctx.f64_field(map, "nr")?,
+    })
+}
+
+fn self_or_default(v: Option<String>, default: &str) -> String {
+    v.unwrap_or_else(|| default.to_string())
+}
+
+fn parse_mobility(ctx: &Ctx<'_>, v: &JsonValue) -> Result<MobilitySpec, ScenarioError> {
+    let map = ctx.obj(v, "`mobility`", "mobility")?;
+    let model = ctx.req_str(map, "model", "`mobility`")?;
+    match model.as_str() {
+        "static" => {
+            ctx.check_keys(map, &["model"], "`mobility` (static)")?;
+            Ok(MobilitySpec::Static)
+        }
+        "waypoint" => {
+            ctx.check_keys(
+                map,
+                &["model", "speed_min_kmh", "speed_max_kmh"],
+                "`mobility` (waypoint)",
+            )?;
+            Ok(MobilitySpec::Waypoint {
+                speed_min_kmh: ctx.f64_or(map, "speed_min_kmh", 3.0)?,
+                speed_max_kmh: ctx.f64_or(map, "speed_max_kmh", 10.0)?,
+            })
+        }
+        "transect" => {
+            ctx.check_keys(
+                map,
+                &["model", "from", "to", "speed_kmh"],
+                "`mobility` (transect)",
+            )?;
+            Ok(MobilitySpec::Transect {
+                from: ctx.xy_field(map, "from", "`mobility` (transect)")?,
+                to: ctx.xy_field(map, "to", "`mobility` (transect)")?,
+                speed_kmh: ctx.f64_or(map, "speed_kmh", 4.5)?,
+            })
+        }
+        other => Err(ctx.err_at_key(
+            "model",
+            format!("unknown mobility model `{other}` (expected static, waypoint or transect)"),
+        )),
+    }
+}
+
+fn parse_arrival(ctx: &Ctx<'_>, v: &JsonValue) -> Result<ArrivalSpec, ScenarioError> {
+    let map = ctx.obj(v, "`arrival`", "arrival")?;
+    let process = ctx.req_str(map, "process", "`arrival`")?;
+    match process.as_str() {
+        "steady" => {
+            ctx.check_keys(map, &["process"], "`arrival` (steady)")?;
+            Ok(ArrivalSpec::Steady)
+        }
+        "diurnal" => {
+            ctx.check_keys(map, &["process", "peak_frac"], "`arrival` (diurnal)")?;
+            Ok(ArrivalSpec::Diurnal {
+                peak_frac: ctx.f64_or(map, "peak_frac", 0.5)?,
+            })
+        }
+        "flash_crowd" => {
+            ctx.check_keys(
+                map,
+                &["process", "at_s", "spread_s"],
+                "`arrival` (flash_crowd)",
+            )?;
+            Ok(ArrivalSpec::FlashCrowd {
+                at_s: ctx.req_f64(map, "at_s", "`arrival` (flash_crowd)")?,
+                spread_s: ctx.f64_or(map, "spread_s", 5.0)?,
+            })
+        }
+        other => Err(ctx.err_at_key(
+            "process",
+            format!("unknown arrival process `{other}` (expected steady, diurnal or flash_crowd)"),
+        )),
+    }
+}
+
+fn parse_app(ctx: &Ctx<'_>, v: &JsonValue) -> Result<AppSpec, ScenarioError> {
+    let map = ctx.obj(v, "`app`", "app")?;
+    let kind = ctx.req_str(map, "kind", "`app`")?;
+    match kind.as_str() {
+        "bulk" => {
+            ctx.check_keys(map, &["kind"], "`app` (bulk)")?;
+            Ok(AppSpec::Bulk)
+        }
+        "video" => {
+            ctx.check_keys(map, &["kind", "resolution", "scene"], "`app` (video)")?;
+            let resolution = match self_or_default(ctx.str_field(map, "resolution")?, "4k").as_str()
+            {
+                "720p" => VideoRes::P720,
+                "1080p" => VideoRes::P1080,
+                "4k" => VideoRes::K4,
+                "5.7k" => VideoRes::K57,
+                other => {
+                    return Err(ctx.err_at_key(
+                        "resolution",
+                        format!("unknown resolution `{other}` (expected 720p, 1080p, 4k or 5.7k)"),
+                    ))
+                }
+            };
+            let scene = match self_or_default(ctx.str_field(map, "scene")?, "static").as_str() {
+                "static" => SceneSpec::Static,
+                "dynamic" => SceneSpec::Dynamic,
+                other => {
+                    return Err(ctx.err_at_key(
+                        "scene",
+                        format!("unknown scene `{other}` (expected static or dynamic)"),
+                    ))
+                }
+            };
+            Ok(AppSpec::Video { resolution, scene })
+        }
+        "web" => {
+            ctx.check_keys(map, &["kind", "category", "think_s"], "`app` (web)")?;
+            let category = match self_or_default(ctx.str_field(map, "category")?, "search").as_str()
+            {
+                "search" => WebCategory::Search,
+                "image" => WebCategory::Image,
+                "shopping" => WebCategory::Shopping,
+                "map" => WebCategory::Map,
+                "video" => WebCategory::Video,
+                other => {
+                    return Err(ctx.err_at_key(
+                        "category",
+                        format!(
+                            "unknown category `{other}` (expected search, image, shopping, map or video)"
+                        ),
+                    ))
+                }
+            };
+            Ok(AppSpec::Web {
+                category,
+                think_s: ctx.f64_or(map, "think_s", 5.0)?,
+            })
+        }
+        other => Err(ctx.err_at_key(
+            "kind",
+            format!("unknown app kind `{other}` (expected bulk, video or web)"),
+        )),
+    }
+}
+
+fn parse_group(ctx: &Ctx<'_>, v: &JsonValue) -> Result<UeGroupSpec, ScenarioError> {
+    let map = ctx.obj(v, "fleet group", "groups")?;
+    ctx.check_keys(
+        map,
+        &["name", "count", "tech", "mobility", "arrival", "app"],
+        "fleet group",
+    )?;
+    let name = ctx.req_str(map, "name", "fleet group")?;
+    let tech = match self_or_default(ctx.str_field(map, "tech")?, "nr").as_str() {
+        "lte" => TechSpec::Lte,
+        "nr" => TechSpec::Nr,
+        other => {
+            return Err(ctx.err_at_key(
+                "tech",
+                format!("unknown tech `{other}` (expected lte or nr)"),
+            ))
+        }
+    };
+    let mobility = match map.get("mobility") {
+        Some(v) => parse_mobility(ctx, v)?,
+        None => MobilitySpec::Waypoint {
+            speed_min_kmh: 3.0,
+            speed_max_kmh: 10.0,
+        },
+    };
+    let arrival = match map.get("arrival") {
+        Some(v) => parse_arrival(ctx, v)?,
+        None => ArrivalSpec::Steady,
+    };
+    let app = match map.get("app") {
+        Some(v) => parse_app(ctx, v)?,
+        None => AppSpec::Bulk,
+    };
+    Ok(UeGroupSpec {
+        name,
+        count: ctx.u32_or(map, "count", 1)?,
+        tech,
+        mobility,
+        arrival,
+        app,
+    })
+}
+
+fn parse_workload(ctx: &Ctx<'_>, v: &JsonValue) -> Result<WorkloadSpec, ScenarioError> {
+    let map = ctx.obj(v, "`workload`", "workload")?;
+    let kind = ctx.req_str(map, "kind", "`workload`")?;
+    match kind.as_str() {
+        "survey" => {
+            ctx.check_keys(
+                map,
+                &["kind", "speed_kmh", "interval_ms"],
+                "`workload` (survey)",
+            )?;
+            let d = SurveySpec::default();
+            Ok(WorkloadSpec::Survey(SurveySpec {
+                speed_kmh: ctx.f64_or(map, "speed_kmh", d.speed_kmh)?,
+                interval_ms: ctx.u64_or(map, "interval_ms", d.interval_ms)?,
+            }))
+        }
+        "fleet" => {
+            ctx.check_keys(
+                map,
+                &["kind", "duration_s", "tick_ms", "groups"],
+                "`workload` (fleet)",
+            )?;
+            let groups_v = map.get("groups").ok_or_else(|| {
+                ctx.err("`workload` (fleet) is missing required key `groups`".into())
+            })?;
+            let JsonValue::Array(items) = groups_v else {
+                return Err(ctx.err_at_key("groups", "`groups` must be an array".to_string()));
+            };
+            let mut groups = Vec::with_capacity(items.len());
+            for item in items {
+                groups.push(parse_group(ctx, item)?);
+            }
+            Ok(WorkloadSpec::Fleet(FleetSpec {
+                duration_s: ctx.u64_or(map, "duration_s", 120)?,
+                tick_ms: ctx.u64_or(map, "tick_ms", 500)?,
+                groups,
+            }))
+        }
+        other => Err(ctx.err_at_key(
+            "kind",
+            format!("unknown workload kind `{other}` (expected survey or fleet)"),
+        )),
+    }
+}
+
+fn parse_fault(ctx: &Ctx<'_>, v: &JsonValue, idx: usize) -> Result<FaultSpec, ScenarioError> {
+    let map = ctx.obj(v, "fault event", "faults")?;
+    let what = format!("fault[{idx}]");
+    let kind = ctx.req_str(map, "kind", &what)?;
+    let start_s = ctx.req_f64(map, "start_s", &what)?;
+    let end_s = ctx.req_f64(map, "end_s", &what)?;
+    match kind.as_str() {
+        "cell_outage" => {
+            ctx.check_keys(map, &["kind", "start_s", "end_s", "pcis"], "fault (cell_outage)")?;
+            let pcis_v = map
+                .get("pcis")
+                .ok_or_else(|| ctx.err(format!("{what} (cell_outage) is missing `pcis`")))?;
+            let JsonValue::Array(items) = pcis_v else {
+                return Err(ctx.err_at_key("pcis", "`pcis` must be an array".to_string()));
+            };
+            let mut pcis = Vec::with_capacity(items.len());
+            for item in items {
+                let v = item.as_u64().and_then(|v| u16::try_from(v).ok()).ok_or_else(
+                    || ctx.err_at_key("pcis", "`pcis` entries must be PCIs (u16)".to_string()),
+                )?;
+                pcis.push(v);
+            }
+            Ok(FaultSpec::CellOutage {
+                start_s,
+                end_s,
+                pcis,
+            })
+        }
+        "backhaul_brownout" => {
+            ctx.check_keys(
+                map,
+                &["kind", "start_s", "end_s", "capacity_mbps"],
+                "fault (backhaul_brownout)",
+            )?;
+            Ok(FaultSpec::BackhaulBrownout {
+                start_s,
+                end_s,
+                capacity_mbps: ctx.req_f64(map, "capacity_mbps", &what)?,
+            })
+        }
+        "handoff_storm" => {
+            ctx.check_keys(
+                map,
+                &["kind", "start_s", "end_s", "hysteresis_db"],
+                "fault (handoff_storm)",
+            )?;
+            Ok(FaultSpec::HandoffStorm {
+                start_s,
+                end_s,
+                hysteresis_db: ctx.f64_or(map, "hysteresis_db", 0.0)?,
+            })
+        }
+        other => Err(ctx.err_at_key(
+            "kind",
+            format!(
+                "unknown fault kind `{other}` (expected cell_outage, backhaul_brownout or handoff_storm)"
+            ),
+        )),
+    }
+}
+
+/// Parses a scenario from an already-parsed JSON value. `src`/`file`
+/// feed error locations.
+pub fn scenario_from_value(
+    v: &JsonValue,
+    src: &str,
+    file: &str,
+) -> Result<ScenarioSpec, ScenarioError> {
+    let ctx = Ctx { src, file };
+    let map = v
+        .as_object()
+        .ok_or_else(|| ctx.err("scenario file must be a JSON object".into()))?;
+    ctx.check_keys(
+        map,
+        &[
+            "name",
+            "description",
+            "campus",
+            "loads",
+            "workload",
+            "faults",
+        ],
+        "scenario",
+    )?;
+    let name = ctx.req_str(map, "name", "scenario")?;
+    let description = self_or_default(ctx.str_field(map, "description")?, "");
+    let campus = match map.get("campus") {
+        Some(v) => parse_campus(&ctx, v)?,
+        None => CampusSpec::default(),
+    };
+    let loads = match map.get("loads") {
+        Some(v) => parse_loads(&ctx, v)?,
+        None => LoadSpec::default(),
+    };
+    let workload_v = map
+        .get("workload")
+        .ok_or_else(|| ctx.err("scenario is missing required key `workload`".into()))?;
+    let workload = parse_workload(&ctx, workload_v)?;
+    let faults = match map.get("faults") {
+        None => Vec::new(),
+        Some(JsonValue::Array(items)) => {
+            let mut faults = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                faults.push(parse_fault(&ctx, item, i)?);
+            }
+            faults
+        }
+        Some(_) => return Err(ctx.err_at_key("faults", "`faults` must be an array".to_string())),
+    };
+    let spec = ScenarioSpec {
+        name,
+        description,
+        campus,
+        loads,
+        workload,
+        faults,
+    };
+    spec.validate()
+        .map_err(|message| ctx.err(format!("invalid scenario: {message}")))?;
+    Ok(spec)
+}
+
+/// Parses a scenario file's text. `file` is the display name used in
+/// error locations (typically the path).
+pub fn parse_scenario(src: &str, file: &str) -> Result<ScenarioSpec, ScenarioError> {
+    let v = parse_json(src).map_err(|e| ScenarioError {
+        file: file.to_string(),
+        line: line_of_offset(src, e.offset),
+        message: e.message,
+    })?;
+    scenario_from_value(&v, src, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"{
+  "name": "smoke",
+  "workload": { "kind": "survey" }
+}"#;
+
+    #[test]
+    fn minimal_survey_parses_with_defaults() {
+        let s = parse_scenario(MINIMAL, "mem").unwrap();
+        assert_eq!(s.name, "smoke");
+        assert_eq!(s.campus, CampusSpec::default());
+        assert_eq!(s.loads.resolve(), (0.5, 0.05));
+        assert_eq!(
+            s.workload,
+            WorkloadSpec::Survey(SurveySpec {
+                speed_kmh: 4.5,
+                interval_ms: 1000
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_key_is_rejected_with_file_and_line() {
+        let src = "{\n  \"name\": \"x\",\n  \"workload\": { \"kind\": \"survey\" },\n  \"campus\": {\n    \"widht_m\": 400\n  }\n}";
+        let e = parse_scenario(src, "bad.json").unwrap_err();
+        assert_eq!(e.file, "bad.json");
+        assert_eq!(e.line, 5, "{e}");
+        assert!(e.message.contains("unknown key `widht_m`"), "{e}");
+        assert!(e.message.contains("allowed:"), "{e}");
+    }
+
+    #[test]
+    fn syntax_error_carries_line() {
+        let e = parse_scenario("{\n  \"name\": \"x\",,\n}", "syntax.json").unwrap_err();
+        assert_eq!(e.file, "syntax.json");
+        assert_eq!(e.line, 2, "{e}");
+    }
+
+    #[test]
+    fn unknown_enum_tags_are_rejected() {
+        let src = r#"{"name":"x","workload":{"kind":"teleport"}}"#;
+        let e = parse_scenario(src, "m").unwrap_err();
+        assert!(
+            e.message.contains("unknown workload kind `teleport`"),
+            "{e}"
+        );
+
+        let src = r#"{"name":"x","workload":{"kind":"fleet","groups":[
+            {"name":"g","count":1,"mobility":{"model":"hover"}}]}}"#;
+        let e = parse_scenario(src, "m").unwrap_err();
+        assert!(e.message.contains("unknown mobility model `hover`"), "{e}");
+    }
+
+    #[test]
+    fn type_errors_name_the_key() {
+        let src = r#"{"name":"x","workload":{"kind":"survey","speed_kmh":"fast"}}"#;
+        let e = parse_scenario(src, "m").unwrap_err();
+        assert!(e.message.contains("`speed_kmh` must be a number"), "{e}");
+
+        let src =
+            r#"{"name":"x","workload":{"kind":"fleet","duration_s":-3,"groups":[{"name":"g"}]}}"#;
+        let e = parse_scenario(src, "m").unwrap_err();
+        assert!(
+            e.message
+                .contains("`duration_s` must be a non-negative integer"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn fleet_with_all_features_parses() {
+        let src = r#"{
+  "name": "full",
+  "description": "everything at once",
+  "campus": { "gnb_sites": 4 },
+  "loads": { "period": "night", "nr": 0.1 },
+  "workload": {
+    "kind": "fleet",
+    "duration_s": 60,
+    "tick_ms": 250,
+    "groups": [
+      { "name": "walkers", "count": 10, "tech": "nr",
+        "mobility": { "model": "waypoint", "speed_min_kmh": 3, "speed_max_kmh": 10 },
+        "arrival": { "process": "steady" },
+        "app": { "kind": "bulk" } },
+      { "name": "callers", "count": 5, "tech": "nr",
+        "mobility": { "model": "static" },
+        "arrival": { "process": "flash_crowd", "at_s": 10, "spread_s": 2 },
+        "app": { "kind": "video", "resolution": "5.7k", "scene": "dynamic" } },
+      { "name": "readers", "count": 8, "tech": "lte",
+        "mobility": { "model": "transect", "from": [10, 10], "to": [400, 800], "speed_kmh": 5 },
+        "arrival": { "process": "diurnal", "peak_frac": 0.4 },
+        "app": { "kind": "web", "category": "news_is_wrong", "think_s": 4 } }
+    ]
+  }
+}"#;
+        // One deliberate error to prove deep group parsing runs:
+        let e = parse_scenario(src, "m").unwrap_err();
+        assert!(
+            e.message.contains("unknown category `news_is_wrong`"),
+            "{e}"
+        );
+        let fixed = src.replace("news_is_wrong", "shopping");
+        let s = parse_scenario(&fixed, "m").unwrap();
+        match &s.workload {
+            WorkloadSpec::Fleet(f) => {
+                assert_eq!(f.groups.len(), 3);
+                assert_eq!(f.groups[1].app.kind(), "video");
+                assert_eq!(f.groups[2].tech, TechSpec::Lte);
+            }
+            other => panic!("expected fleet, got {other:?}"),
+        }
+        assert_eq!(s.loads.resolve(), (0.2, 0.1));
+    }
+
+    #[test]
+    fn fault_schedule_parses_and_validates() {
+        let src = r#"{
+  "name": "faulty",
+  "workload": { "kind": "fleet", "groups": [ { "name": "g", "count": 2 } ] },
+  "faults": [
+    { "kind": "cell_outage", "start_s": 10, "end_s": 20, "pcis": [60, 61] },
+    { "kind": "backhaul_brownout", "start_s": 30, "end_s": 40, "capacity_mbps": 200 },
+    { "kind": "handoff_storm", "start_s": 50, "end_s": 60, "hysteresis_db": 0 }
+  ]
+}"#;
+        let s = parse_scenario(src, "m").unwrap();
+        assert_eq!(s.faults.len(), 3);
+        assert_eq!(s.faults[0].kind(), "cell_outage");
+        // Inverted window rejected by validation.
+        let bad = src.replace("\"end_s\": 20", "\"end_s\": 5");
+        let e = parse_scenario(&bad, "m").unwrap_err();
+        assert!(e.message.contains("window"), "{e}");
+    }
+
+    #[test]
+    fn line_of_key_skips_string_values() {
+        // "survey" appears as a *value* before any key occurrence; the
+        // locator must only match `"key":` shapes.
+        let src = "{\n  \"a\": \"survey\",\n  \"survey\": 1\n}";
+        assert_eq!(line_of_key(src, "survey"), 3);
+        assert_eq!(line_of_key(src, "missing"), 0);
+    }
+}
