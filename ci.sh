@@ -1,34 +1,82 @@
 #!/usr/bin/env bash
 # CI gate, in stages: formatting and lints across the whole workspace,
-# build, tests, a golden-regression smoke, a benchmark perf gate and a
-# worker-count determinism check. Each stage is timed; on failure the
-# exit message names the stage that broke.
+# build, tests, a golden-regression smoke, a benchmark perf gate and
+# determinism checks over both the worker axis (--jobs) and the shard
+# axis (FIVEG_SHARDS). Each stage is timed; on failure the exit message
+# names the stage that broke. Machine-readable per-stage timings land in
+# target/ci-timings.json, and any stage that exceeds its committed
+# budget (golden/ci-budget.json) prints a soft warning.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 REPRO=(cargo run --release -q -p fiveg-bench --bin repro --)
 BASELINE=golden/bench-baseline.json
+BUDGETS=golden/ci-budget.json
 
 CURRENT_STAGE="(setup)"
 STAGE_START=$SECONDS
-STAGE_TIMES=()
+STAGE_NAMES=()
+STAGE_SECS=()
+STAGE_STATUS=()
+
+# Records the finished CURRENT_STAGE with the given status, and prints
+# a soft warning when it ran over its committed per-stage budget.
+finish_stage() {
+  local status=$1 secs=$2
+  STAGE_NAMES+=("$CURRENT_STAGE")
+  STAGE_SECS+=("$secs")
+  STAGE_STATUS+=("$status")
+  if [[ -f "$BUDGETS" ]]; then
+    local budget
+    budget=$(sed -n "s|.*\"${CURRENT_STAGE}\": *\([0-9][0-9]*\).*|\1|p" "$BUDGETS" | head -1)
+    if [[ -n "$budget" && "$secs" -gt "$budget" ]]; then
+      echo "ci: WARNING stage '${CURRENT_STAGE}' took ${secs}s, over its ${budget}s budget" >&2
+    fi
+  fi
+}
 
 stage() {
   local now=$SECONDS
   if [[ "$CURRENT_STAGE" != "(setup)" ]]; then
-    STAGE_TIMES+=("$(printf '%4ss  %s' $((now - STAGE_START)) "$CURRENT_STAGE")")
+    finish_stage ok $((now - STAGE_START))
   fi
   CURRENT_STAGE="$1"
   STAGE_START=$now
   echo "== ${1} =="
 }
 
+# target/ci-timings.json: one row per stage (name, seconds, pass/fail),
+# in the same `{}`-style JSON the repo's artifacts use.
+write_timings() {
+  mkdir -p target
+  {
+    printf '{\n  "schema": 1,\n  "stages": [\n'
+    local i
+    local last=$((${#STAGE_NAMES[@]} - 1))
+    for i in "${!STAGE_NAMES[@]}"; do
+      local sep=','
+      [[ "$i" -eq "$last" ]] && sep=''
+      printf '    {"name": "%s", "seconds": %s, "status": "%s"}%s\n' \
+        "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}" "${STAGE_STATUS[$i]}" "$sep"
+    done
+    printf '  ]\n}\n'
+  } > target/ci-timings.json
+}
+
 on_exit() {
   local code=$?
   local now=$SECONDS
-  STAGE_TIMES+=("$(printf '%4ss  %s' $((now - STAGE_START)) "$CURRENT_STAGE")")
+  if [[ $code -ne 0 ]]; then
+    finish_stage failed $((now - STAGE_START))
+  else
+    finish_stage ok $((now - STAGE_START))
+  fi
+  write_timings
   echo "-- stage times --"
-  printf '%s\n' "${STAGE_TIMES[@]}"
+  local i
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '%4ss  %s\n' "${STAGE_SECS[$i]}" "${STAGE_NAMES[$i]}"
+  done
   if [[ $code -ne 0 ]]; then
     echo "ci: FAILED in stage '${CURRENT_STAGE}' (exit ${code})" >&2
   else
@@ -77,12 +125,26 @@ stage "golden smoke: repro --only table1 --check"
 # Committed scenario files must parse, validate and stay in canonical
 # form (`scen fmt` is the formatter; drift here means someone edited a
 # file by hand without re-running it).
-stage "scenario files: scen check + fmt --check"
+stage "scenario files: scen check + fmt --check + expand"
 SCEN_BIN=(cargo run --release -q -p fiveg-scenario --bin scen --)
 "${SCEN_BIN[@]}" check golden/scenarios/*.json
 "${SCEN_BIN[@]}" fmt --check golden/scenarios/*.json
-"${SCEN_BIN[@]}" expand golden/scenarios/families/gnb-density.json \
-  --out target/ci-scen-family > /dev/null 2>&1
+# Family expansion: capture output so a failure names its cause, and
+# assert the variant count (4 gnb_sites x 3 nr loads = 12) instead of
+# discarding everything the tool printed.
+rm -rf target/ci-scen-family
+if ! "${SCEN_BIN[@]}" expand golden/scenarios/families/gnb-density.json \
+    --out target/ci-scen-family > target/ci-scen-expand.log 2>&1; then
+  echo "scen expand failed:" >&2
+  cat target/ci-scen-expand.log >&2
+  exit 1
+fi
+variants=$(find target/ci-scen-family -name '*.json' | wc -l)
+if [[ "$variants" -ne 12 ]]; then
+  echo "scen expand: expected 12 variants (4 gnb_sites x 3 nr loads), got ${variants}" >&2
+  cat target/ci-scen-expand.log >&2
+  exit 1
+fi
 
 # The scenario DSL end-to-end: the committed scenarios (including the
 # fault-injection demo) must reproduce golden/scenario-s2020 at both
@@ -102,8 +164,9 @@ cmp target/ci-scen-j8/paper_campus.json golden/quick-s2020/table1.json \
   || { echo "scenario: paper_campus.json differs from the table1 golden" >&2; exit 1; }
 
 # Full quick campaign at 8 workers. Counter drift against the committed
-# baseline fails the gate (including the phy.sample microbench
-# counters); a >25 % events/sec drop only warns (wall time depends on
+# baseline fails the gate (including the phy.sample and shard.fleet.*
+# microbench counters — the latter embed the sharded-vs-serial report
+# identity); a >25 % events/sec drop only warns (wall time depends on
 # the host).
 stage "perf gate: repro --bench vs ${BASELINE}"
 rm -rf target/ci-bench-j8 target/ci-bench-j1   # stale artifacts from older schemas
@@ -127,3 +190,39 @@ done
 diff <(grep '"json_hash"' target/ci-bench-j1/manifest.json) \
      <(grep '"json_hash"' target/ci-bench-j8/manifest.json) \
   || { echo "determinism: manifest artifact fingerprints differ" >&2; exit 1; }
+
+# The conservative-PDES contract: the full quick campaign plus the
+# committed scenarios must be byte-identical — artifacts, manifest
+# fingerprints, obs counters — for any shard count. FIVEG_SHARDS=1 is
+# the classic serial single-queue loop; 2 and 8 run barrier-windowed
+# shard workers. Counter identity rides the --bench-check (exact-match
+# gate); artifact identity is byte compares, mirroring the jobs loop.
+stage "determinism: shard matrix (FIVEG_SHARDS=1/2/8)"
+rm -rf target/ci-shard-s1 target/ci-shard-s2 target/ci-shard-s8 target/ci-shard-x
+FIVEG_SHARDS=1 FIVEG_SWEEP_THREADS=8 "${REPRO[@]}" "${SCEN_JOBS[@]}" --jobs 8 \
+  --out target/ci-shard-s1 --bench > /dev/null
+for s in 2 8; do
+  FIVEG_SHARDS=$s FIVEG_SWEEP_THREADS=8 "${REPRO[@]}" "${SCEN_JOBS[@]}" --jobs 8 \
+    --out "target/ci-shard-s$s" --bench \
+    --bench-check target/ci-shard-s1/BENCH_0003.json > /dev/null
+  for f in "target/ci-shard-s$s"/*.json; do
+    name=$(basename "$f")
+    [[ "$name" == manifest.json || "$name" == BENCH_0003.json ]] && continue
+    cmp "$f" "target/ci-shard-s1/$name" \
+      || { echo "shard matrix: artifact $name differs between FIVEG_SHARDS=1 and =$s" >&2; exit 1; }
+  done
+  diff <(grep '"json_hash"' target/ci-shard-s1/manifest.json) \
+       <(grep '"json_hash"' "target/ci-shard-s$s/manifest.json") \
+    || { echo "shard matrix: manifest fingerprints differ at FIVEG_SHARDS=$s" >&2; exit 1; }
+done
+# Cross the shard axis with the worker axis on the cheapest pair: the
+# scenario artifacts of (FIVEG_SHARDS=2, --jobs 1, 1 sweep thread) must
+# match the (FIVEG_SHARDS=8, --jobs 8) run above.
+FIVEG_SHARDS=2 FIVEG_SWEEP_THREADS=1 "${REPRO[@]}" "${SCEN_JOBS[@]}" --only scenario \
+  --jobs 1 --out target/ci-shard-x > /dev/null
+for f in target/ci-shard-x/*.json; do
+  name=$(basename "$f")
+  [[ "$name" == manifest.json ]] && continue
+  cmp "$f" "target/ci-shard-s8/$name" \
+    || { echo "shard matrix: scenario artifact $name differs across the jobs x shards cross" >&2; exit 1; }
+done

@@ -315,6 +315,18 @@ fn main() -> ExitCode {
             micro.samples, micro.wall_ms, micro.samples_per_sec
         );
         bench.micro.insert("phy.sample".to_string(), micro);
+        let (serial, sharded) = fiveg_bench::fleet_shard_micro(cli.seed);
+        eprintln!(
+            "micro shard.fleet: serial {} ms vs sharded {} ms ({} samples; speedup {:.2}x)",
+            serial.wall_ms,
+            sharded.wall_ms,
+            serial.samples,
+            serial.wall_ms as f64 / (sharded.wall_ms.max(1)) as f64
+        );
+        bench.micro.insert("shard.fleet.serial".to_string(), serial);
+        bench
+            .micro
+            .insert("shard.fleet.sharded".to_string(), sharded);
         let path = cli
             .bench_out
             .clone()

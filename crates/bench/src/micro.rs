@@ -53,9 +53,109 @@ pub fn phy_sample_micro(seed: u64) -> MicroBench {
     }
 }
 
+/// The multi-cell fleet scenario for the `shard.fleet.*` pair: 384 UEs
+/// (6 chunks → 6 shards) across the paper campus's 47 cells for 90 s.
+const FLEET_SCENARIO: &str = r#"{
+  "name": "fleet_shard_micro",
+  "workload": { "kind": "fleet", "duration_s": 90, "tick_ms": 1000, "groups": [
+    { "name": "walkers", "count": 128, "tech": "nr",
+      "mobility": { "model": "waypoint", "speed_min_kmh": 3, "speed_max_kmh": 10 },
+      "arrival": { "process": "steady" }, "app": { "kind": "bulk" } },
+    { "name": "watchers", "count": 128, "tech": "nr",
+      "mobility": { "model": "static" },
+      "arrival": { "process": "diurnal", "peak_frac": 0.4 },
+      "app": { "kind": "video", "resolution": "1080p", "scene": "dynamic" } },
+    { "name": "readers", "count": 128, "tech": "lte",
+      "mobility": { "model": "static" },
+      "arrival": { "process": "steady" },
+      "app": { "kind": "web", "category": "search", "think_s": 2 } } ] }
+}"#;
+
+/// Shard count of the parallel `shard.fleet.sharded` leg. Fixed — not
+/// host parallelism — so the workload is identical on every machine;
+/// the determinism contract makes the counters independent of it
+/// anyway.
+const FLEET_SHARDS: usize = 6;
+
+/// The `shard.fleet.serial` / `shard.fleet.sharded` workload pair: one
+/// multi-cell fleet scenario run twice — on the classic single-queue
+/// serial loop (`shards = 1`) and on [`FLEET_SHARDS`] conservative-PDES
+/// shards. Returns `(serial, sharded)`.
+///
+/// The sharded leg's counters carry the determinism contract twice
+/// over: every counter must equal the serial leg's (both legs sit in
+/// the blessed baseline), and the synthetic `shard.report.identical`
+/// counter is 1 only when the two reports serialise to identical
+/// bytes — so a determinism regression fails the CI perf gate as
+/// counter drift. Wall time is the advisory speedup signal.
+pub fn fleet_shard_micro(seed: u64) -> (MicroBench, MicroBench) {
+    let spec = fiveg_core::scenario_dsl::parse_scenario(FLEET_SCENARIO, "fleet-shard-micro")
+        .unwrap_or_else(|e| panic!("inline micro scenario parses: {e}"));
+    let fleet = match &spec.workload {
+        fiveg_core::scenario_dsl::WorkloadSpec::Fleet(f) => f.clone(),
+        fiveg_core::scenario_dsl::WorkloadSpec::Survey(_) => {
+            unreachable!("the inline micro scenario is a fleet workload")
+        }
+    };
+    let sc = fiveg_core::scenario_run::build_scenario(&spec, seed);
+    let leg = |shards: usize| {
+        let m = MetricsHandle::new();
+        // fiveg-lint: allow(D003) -- microbench wall time; counters carry determinism
+        let start = Instant::now();
+        let report = fiveg_obs::scoped(&m, || {
+            fiveg_core::scenario_run::run_fleet_sharded(&sc, &spec, &fleet, seed ^ 0xf1ee7, shards)
+        });
+        let wall = start.elapsed();
+        let json = serde_json::to_string(&report).unwrap_or_default();
+        (m, wall, json)
+    };
+    let (m_serial, wall_serial, json_serial) = leg(1);
+    let (m_sharded, wall_sharded, json_sharded) = leg(FLEET_SHARDS);
+    fiveg_obs::scoped(&m_sharded, || {
+        fiveg_obs::counter_add(
+            "shard.report.identical",
+            u64::from(json_serial == json_sharded),
+        );
+    });
+    let finish = |m: &MetricsHandle, wall: std::time::Duration| {
+        let counters = m.snapshot().deterministic();
+        let samples = counters.get("scenario.kpi.samples").copied().unwrap_or(0);
+        let samples_per_sec = if wall.as_secs_f64() > 0.0 {
+            (samples as f64 / wall.as_secs_f64()) as u64
+        } else {
+            0
+        };
+        MicroBench {
+            wall_ms: wall.as_millis() as u64,
+            samples,
+            samples_per_sec,
+            counters,
+        }
+    };
+    (
+        finish(&m_serial, wall_serial),
+        finish(&m_sharded, wall_sharded),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_shard_micro_legs_agree() {
+        let (serial, sharded) = fleet_shard_micro(2020);
+        assert!(
+            serial.samples > 10_000,
+            "workload too small: {}",
+            serial.samples
+        );
+        assert_eq!(sharded.counters["shard.report.identical"], 1);
+        // Every counter but the synthetic marker matches the serial leg.
+        let mut sharded_counters = sharded.counters.clone();
+        sharded_counters.remove("shard.report.identical");
+        assert_eq!(serial.counters, sharded_counters);
+    }
 
     #[test]
     fn phy_sample_micro_is_counter_deterministic() {

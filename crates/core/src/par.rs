@@ -46,6 +46,26 @@ pub fn sweep_threads() -> usize {
     })
 }
 
+/// Shard count for sharded fleet runs: the `FIVEG_SHARDS` environment
+/// variable if set to a positive integer, else the machine's available
+/// parallelism. Resolved once per process. `FIVEG_SHARDS=1` selects the
+/// serial single-queue event loop; any value yields byte-identical
+/// artifacts and obs counters (the conservative-PDES determinism
+/// contract, enforced by the ci.sh shard-matrix stage).
+pub fn shard_count() -> usize {
+    static SHARDS: OnceLock<usize> = OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        if let Ok(v) = std::env::var("FIVEG_SHARDS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    })
+}
+
 /// Maps `f` over `items` on [`sweep_threads`] workers, preserving input
 /// order. `f` receives the item index and the item.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {

@@ -15,22 +15,31 @@
 //! is built from the campaign's *base* seed, so a scenario describes
 //! the same network as every registry job; all fleet-private
 //! randomness (waypoints, arrivals, page sizes) derives from the
-//! per-job seed. The tick loop is serial, so artifact bytes and obs
-//! counters are independent of `--jobs`.
+//! per-job seed. The fleet tick loop runs on the conservative-PDES
+//! shard engine ([`fiveg_simcore::shard`]): UEs partition into
+//! cell-cluster shards that advance concurrently against a wireline
+//! router shard, with the access path's one-way latency as lookahead.
+//! Artifact bytes and obs counters are independent of `--jobs` *and*
+//! of `FIVEG_SHARDS` — cross-shard ties break on the stable
+//! `(time, shard-id, seq)` key, never on arrival order, and
+//! `FIVEG_SHARDS=1` is the old single-queue serial loop.
 
 use crate::experiments::coverage;
 use crate::report;
 use crate::Scenario;
 use fiveg_campaign::{Job, JobCtx, JobOutput};
 use fiveg_geo::{Campus, CampusConfig, LinearTransect, Point, RandomWaypoint};
+use fiveg_net::path::{Direction, PaperPathParams};
+use fiveg_net::PathConfig;
 use fiveg_phy::{CellMeasurement, MeasureScratch, RadioEnv, Tech};
 use fiveg_scenario::{
     AppSpec, ArrivalSpec, FaultSpec, FleetSpec, MobilitySpec, ScenarioSpec, SceneSpec, TechSpec,
     UeGroupSpec, VideoRes, WebCategory, WorkloadSpec,
 };
-use fiveg_simcore::{OnlineStats, SimDuration, SimRng};
+use fiveg_simcore::shard::{ShardCtx, ShardEngine, ShardLogic, Topology};
+use fiveg_simcore::{OnlineStats, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Hand-off hysteresis outside storm windows, dB (3GPP-typical A3
 /// margin, also used by the Sec. 3.4 hand-off study).
@@ -496,15 +505,357 @@ fn tick_app(ue: &mut Ue, bitrate_mbps: f64, tick_s: f64) {
     }
 }
 
+/// One message of the sharded fleet protocol. The per-tick exchange is
+/// router-driven so every message count is a function of UE state —
+/// never of the shard count:
+///
+/// ```text
+/// t        router   TickStart  → Measure{ue} to each active UE's shard
+/// t + δ    UE shard Measure    → serving-cell decision; Attach / Unattached
+/// t + 2δ   router   Attach*, Unattached*, then Aggregate (router-local,
+///                   max shard id ⇒ sorts after every same-time intent)
+///                   → PRB + backhaul split; Grant{ue, bitrate}
+/// t + 3δ   UE shard Grant      → tick_app
+/// ```
+///
+/// with δ the link lookahead (2δ < tick, so tick `t` fully drains
+/// before tick `t+1` opens).
+enum FleetEvent {
+    /// Router: open tick `tick` and fan out measurement grants.
+    TickStart {
+        /// Tick index.
+        tick: u64,
+    },
+    /// UE shard: run the serving-cell decision for one UE.
+    Measure {
+        /// Tick index.
+        tick: u64,
+        /// Global UE index.
+        ue: u32,
+    },
+    /// Router: a UE wants PRBs on a cell this tick.
+    Attach {
+        /// Global UE index.
+        ue: u32,
+        /// Cell index in `env.cells`.
+        cell: u32,
+        /// The serving measurement.
+        m: CellMeasurement,
+        /// The UE's position this tick.
+        pos: Point,
+    },
+    /// Router: an active UE has no serving cell this tick.
+    Unattached {
+        /// Global UE index.
+        ue: u32,
+    },
+    /// Router: all intents for `tick` are in; allocate PRBs/backhaul.
+    Aggregate {
+        /// Tick index.
+        tick: u64,
+    },
+    /// UE shard: the tick's allocated bitrate; advance the app.
+    Grant {
+        /// Global UE index.
+        ue: u32,
+        /// Allocated downlink bitrate, Mbps.
+        bitrate_mbps: f64,
+    },
+}
+
+/// A shard owning a cluster of UEs (whole [`crate::par::CHUNK`]-sized
+/// chunks of the global UE order, assigned round-robin). Serving-cell
+/// state, hand-off accounting and app state live here; radio
+/// measurement scratch is **per chunk** so `phy.*` counters depend
+/// only on the chunk structure — identical for any shard count.
+struct UeCells<'a> {
+    sc: &'a Scenario,
+    spec: &'a ScenarioSpec,
+    tick_s: f64,
+    delta: SimDuration,
+    router: usize,
+    /// `(global index, state)`, ascending by global index.
+    ues: Vec<(u32, Ue)>,
+    /// Chunk id → measurement scratch, created on first use.
+    scratches: BTreeMap<u32, MeasureScratch>,
+    /// Tick of the cached fault resolution (`u64::MAX` = none).
+    faults_tick: u64,
+    faults: ActiveFaults,
+    group_active: Vec<u64>,
+    group_handoffs: Vec<u64>,
+    fault_impact: Vec<u64>,
+    total_handoffs: u64,
+    kpi_samples: u64,
+}
+
+impl UeCells<'_> {
+    fn on_measure(&mut self, ctx: &mut ShardCtx<'_, FleetEvent>, tick: u64, ue: u32) {
+        let t_s = tick as f64 * self.tick_s;
+        if self.faults_tick != tick {
+            self.faults = faults_at(&self.spec.faults, t_s);
+            self.faults_tick = tick;
+        }
+        let Ok(slot) = self.ues.binary_search_by_key(&ue, |(gi, _)| *gi) else {
+            return;
+        };
+        let chunk = ue / crate::par::CHUNK as u32;
+        let scratch = self.scratches.entry(chunk).or_default();
+        let active = &self.faults;
+        let (_, ue_state) = &mut self.ues[slot];
+        self.group_active[ue_state.group] += 1;
+        let pos = ue_state.path.at(tick);
+        let all = self.sc.env.measure_all_into(pos, ue_state.tech, scratch);
+        self.kpi_samples += 1;
+        let best = all
+            .iter()
+            .find(|m| !active.outaged.contains(&m.pci))
+            .copied();
+        // Track outage denials: the top-ranked cell exists but is
+        // administratively down.
+        if let Some(top) = all.first() {
+            if active.outaged.contains(&top.pci) {
+                if let Some(fi) = self.spec.faults.iter().position(|f| {
+                    let (s, e) = f.window();
+                    matches!(f, FaultSpec::CellOutage { pcis, .. } if pcis.contains(&top.pci))
+                        && t_s >= s
+                        && t_s < e
+                }) {
+                    self.fault_impact[fi] += 1;
+                }
+            }
+        }
+        let current = ue_state
+            .serving
+            .filter(|m| !active.outaged.contains(&m.pci))
+            .and_then(|m| all.iter().find(|n| n.pci == m.pci).copied());
+        let next = match (current, best) {
+            (None, Some(b)) => {
+                if ue_state.serving.is_some() {
+                    // Lost the old cell (outage or out of range).
+                    self.group_handoffs[ue_state.group] += 1;
+                    self.total_handoffs += 1;
+                    note_storm_handoff(self.spec, t_s, &mut self.fault_impact);
+                }
+                Some(b)
+            }
+            (Some(c), Some(b)) => {
+                if b.pci != c.pci && b.rsrp.value() > c.rsrp.value() + active.hysteresis_db {
+                    self.group_handoffs[ue_state.group] += 1;
+                    self.total_handoffs += 1;
+                    note_storm_handoff(self.spec, t_s, &mut self.fault_impact);
+                    Some(b)
+                } else {
+                    Some(c)
+                }
+            }
+            (Some(c), None) => Some(c),
+            (None, None) => None,
+        };
+        ue_state.serving = next;
+        match next {
+            Some(m) => {
+                if let Some(idx) = self.sc.env.cell_index(m.pci) {
+                    ctx.send(
+                        self.router,
+                        self.delta,
+                        FleetEvent::Attach {
+                            ue,
+                            cell: idx as u32,
+                            m,
+                            pos,
+                        },
+                    );
+                }
+            }
+            None => ctx.send(self.router, self.delta, FleetEvent::Unattached { ue }),
+        }
+    }
+
+    fn on_grant(&mut self, ue: u32, bitrate_mbps: f64) {
+        if let Ok(slot) = self.ues.binary_search_by_key(&ue, |(gi, _)| *gi) {
+            let (_, ue_state) = &mut self.ues[slot];
+            tick_app(ue_state, bitrate_mbps, self.tick_s);
+        }
+    }
+}
+
+/// The wireline-router shard: owns the tick clock, the per-cell attach
+/// census, PRB fractions, the shared backhaul cap and the per-group
+/// bitrate statistics (pushed in global UE order, so the Welford sums
+/// are bit-identical to the serial loop).
+struct RouterHub<'a> {
+    sc: &'a Scenario,
+    spec: &'a ScenarioSpec,
+    tick_s: f64,
+    tick_dur: SimDuration,
+    ticks: u64,
+    delta: SimDuration,
+    shards: usize,
+    /// Arrival tick per UE, global order (so only active UEs are
+    /// granted a measurement).
+    arrival_ticks: Vec<u64>,
+    /// Group index per UE, global order.
+    ue_group: Vec<usize>,
+    group_bitrate: Vec<OnlineStats>,
+    group_in_service: Vec<u64>,
+    fault_impact: Vec<u64>,
+    /// Attach intents buffered for the tick in flight.
+    attach: Vec<(u32, u32, CellMeasurement, Point)>,
+    unattached: Vec<u32>,
+    /// Per-cell attach census.
+    attached: Vec<u32>,
+}
+
+impl RouterHub<'_> {
+    fn shard_of(&self, ue: u32) -> usize {
+        (ue as usize / crate::par::CHUNK) % self.shards
+    }
+
+    fn on_tick_start(&mut self, ctx: &mut ShardCtx<'_, FleetEvent>, tick: u64) {
+        let now = ctx.now();
+        for (ue, arr) in self.arrival_ticks.iter().enumerate() {
+            if *arr <= tick {
+                let ue = ue as u32;
+                ctx.send(
+                    self.shard_of(ue),
+                    self.delta,
+                    FleetEvent::Measure { tick, ue },
+                );
+            }
+        }
+        // The router is the highest shard id, so this local event sorts
+        // after every same-time Attach/Unattached intent.
+        ctx.schedule_at(
+            now + self.delta + self.delta,
+            FleetEvent::Aggregate { tick },
+        );
+        if tick + 1 < self.ticks {
+            ctx.schedule_at(
+                now + self.tick_dur,
+                FleetEvent::TickStart { tick: tick + 1 },
+            );
+        }
+    }
+
+    fn on_aggregate(&mut self, ctx: &mut ShardCtx<'_, FleetEvent>, tick: u64) {
+        let t_s = tick as f64 * self.tick_s;
+        let active = faults_at(&self.spec.faults, t_s);
+        // Intents arrive in (origin shard, seq) order; restore the
+        // global UE order the serial pass used.
+        self.attach.sort_unstable_by_key(|&(ue, ..)| ue);
+        self.unattached.sort_unstable();
+        self.attached.iter_mut().for_each(|c| *c = 0);
+        for &(_, cell, ..) in &self.attach {
+            self.attached[cell as usize] += 1;
+        }
+        // KPIs under PRB sharing, backhaul cap, app progress.
+        let in_service_now = self.attach.len().max(1) as f64;
+        let backhaul_share = active.backhaul_mbps.map(|c| c / in_service_now);
+        for i in 0..self.attach.len() {
+            let (ue, cell, m, pos) = self.attach[i];
+            let prb = 1.0 / f64::from(self.attached[cell as usize].max(1));
+            let kpi = self.sc.env.kpi_for(m, pos, prb);
+            let mut bitrate = if kpi.in_service {
+                kpi.bitrate.mbps()
+            } else {
+                0.0
+            };
+            if let Some(share) = backhaul_share {
+                if bitrate > share {
+                    bitrate = share;
+                    if let Some(fi) = brownout_index(self.spec, t_s) {
+                        self.fault_impact[fi] += 1;
+                    }
+                }
+            }
+            let g = self.ue_group[ue as usize];
+            if kpi.in_service {
+                self.group_in_service[g] += 1;
+            }
+            self.group_bitrate[g].push(bitrate);
+            ctx.send(
+                self.shard_of(ue),
+                self.delta,
+                FleetEvent::Grant {
+                    ue,
+                    bitrate_mbps: bitrate,
+                },
+            );
+        }
+        // UEs that are active but unattached still burn app time at
+        // zero bitrate (video stalls, pages hang).
+        for i in 0..self.unattached.len() {
+            let ue = self.unattached[i];
+            self.group_bitrate[self.ue_group[ue as usize]].push(0.0);
+            ctx.send(
+                self.shard_of(ue),
+                self.delta,
+                FleetEvent::Grant {
+                    ue,
+                    bitrate_mbps: 0.0,
+                },
+            );
+        }
+        self.attach.clear();
+        self.unattached.clear();
+    }
+}
+
+/// One shard of a fleet run: a UE cluster or the router.
+enum FleetNode<'a> {
+    Ue(UeCells<'a>),
+    Router(RouterHub<'a>),
+}
+
+impl ShardLogic for FleetNode<'_> {
+    type Event = FleetEvent;
+
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, FleetEvent>, _at: SimTime, event: FleetEvent) {
+        match (self, event) {
+            (FleetNode::Ue(u), FleetEvent::Measure { tick, ue }) => u.on_measure(ctx, tick, ue),
+            (FleetNode::Ue(u), FleetEvent::Grant { ue, bitrate_mbps }) => {
+                u.on_grant(ue, bitrate_mbps);
+            }
+            (FleetNode::Router(r), FleetEvent::TickStart { tick }) => r.on_tick_start(ctx, tick),
+            (FleetNode::Router(r), FleetEvent::Attach { ue, cell, m, pos }) => {
+                r.attach.push((ue, cell, m, pos));
+            }
+            (FleetNode::Router(r), FleetEvent::Unattached { ue }) => r.unattached.push(ue),
+            (FleetNode::Router(r), FleetEvent::Aggregate { tick }) => r.on_aggregate(ctx, tick),
+            // A misrouted event is a protocol bug; ignore in release,
+            // surface in test builds.
+            (_, _) => debug_assert!(false, "fleet event routed to the wrong shard kind"),
+        }
+    }
+}
+
 /// Runs a fleet workload against a built scenario. `run_seed` drives
-/// all fleet-private randomness (the per-job derived seed).
+/// all fleet-private randomness (the per-job derived seed). The shard
+/// count comes from [`crate::par::shard_count`] (`FIVEG_SHARDS`).
 pub fn run_fleet(
     sc: &Scenario,
     spec: &ScenarioSpec,
     fleet: &FleetSpec,
     run_seed: u64,
 ) -> FleetReport {
-    let tick_s = SimDuration::from_millis(fleet.tick_ms).as_secs_f64();
+    run_fleet_sharded(sc, spec, fleet, run_seed, crate::par::shard_count())
+}
+
+/// [`run_fleet`] with an explicit shard count (tests and benchmarks).
+///
+/// The run partitions into `shards` UE-cluster shards plus a router
+/// shard on the conservative engine; every observable byte (report
+/// floats, obs counters) is identical for any `shards` value, and
+/// `shards = 1` executes the classic merged single-queue loop.
+pub fn run_fleet_sharded(
+    sc: &Scenario,
+    spec: &ScenarioSpec,
+    fleet: &FleetSpec,
+    run_seed: u64,
+    shards: usize,
+) -> FleetReport {
+    let tick_dur = SimDuration::from_millis(fleet.tick_ms);
+    let tick_s = tick_dur.as_secs_f64();
     let ticks = (fleet.duration_s as f64 / tick_s).round() as u64;
     // Build the fleet in scenario order; every UE owns independent RNG
     // substreams keyed by (group name, index), so group order never
@@ -515,124 +866,138 @@ pub fn run_fleet(
             ues.push(build_ue(sc, gi, g, i, fleet, run_seed));
         }
     }
-    let mut group_bitrate: Vec<OnlineStats> =
-        fleet.groups.iter().map(|_| OnlineStats::new()).collect();
+    let n_ues = ues.len();
+    let n_chunks = n_ues.div_ceil(crate::par::CHUNK);
+    let shards = shards.clamp(1, n_chunks.max(1));
+    let router_id = shards;
+
+    // Lookahead: the access path's smallest one-way hop latency (the
+    // radio hop of the canonical paper path), bounded by a quarter tick
+    // so the 4-beat tick protocol always fits inside one tick.
+    let net_la = PathConfig::paper(&PaperPathParams::nr_day(), Direction::Downlink).min_lookahead();
+    let quarter_tick = SimDuration::from_nanos((tick_dur.as_nanos() / 4).max(1));
+    let delta = if net_la.is_zero() {
+        quarter_tick
+    } else {
+        net_la.min(quarter_tick)
+    };
+
+    // Worst-case in-flight per link: one Measure + one Grant per UE per
+    // tick, plus slack.
+    let capacity = n_ues * 4 + 64;
+    let mut builder = Topology::builder(shards + 1);
+    for s in 0..shards {
+        builder = builder
+            .link_with_capacity(s, router_id, delta, capacity)
+            .link_with_capacity(router_id, s, delta, capacity);
+    }
+    let topo = match builder.build() {
+        Ok(t) => t,
+        Err(e) => panic!("fleet shard topology: {e}"),
+    };
+
+    let arrival_ticks: Vec<u64> = ues.iter().map(|u| u.arrival_tick).collect();
+    let ue_group: Vec<usize> = ues.iter().map(|u| u.group).collect();
+    let mut per_shard: Vec<Vec<(u32, Ue)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (gi, ue) in ues.into_iter().enumerate() {
+        per_shard[(gi / crate::par::CHUNK) % shards].push((gi as u32, ue));
+    }
+    let mut logics: Vec<FleetNode<'_>> = per_shard
+        .into_iter()
+        .map(|shard_ues| {
+            FleetNode::Ue(UeCells {
+                sc,
+                spec,
+                tick_s,
+                delta,
+                router: router_id,
+                ues: shard_ues,
+                scratches: BTreeMap::new(),
+                faults_tick: u64::MAX,
+                faults: ActiveFaults {
+                    outaged: BTreeSet::new(),
+                    backhaul_mbps: None,
+                    hysteresis_db: DEFAULT_HYSTERESIS_DB,
+                },
+                group_active: vec![0; fleet.groups.len()],
+                group_handoffs: vec![0; fleet.groups.len()],
+                fault_impact: vec![0; spec.faults.len()],
+                total_handoffs: 0,
+                kpi_samples: 0,
+            })
+        })
+        .collect();
+    logics.push(FleetNode::Router(RouterHub {
+        sc,
+        spec,
+        tick_s,
+        tick_dur,
+        ticks,
+        delta,
+        shards,
+        arrival_ticks,
+        ue_group,
+        group_bitrate: fleet.groups.iter().map(|_| OnlineStats::new()).collect(),
+        group_in_service: vec![0; fleet.groups.len()],
+        fault_impact: vec![0; spec.faults.len()],
+        attach: Vec::new(),
+        unattached: Vec::new(),
+        attached: vec![0; sc.env.cells.len()],
+    }));
+
+    let mut engine = match ShardEngine::new(topo, logics) {
+        Ok(e) => e,
+        Err(e) => panic!("fleet shard engine: {e}"),
+    };
+    if ticks > 0 {
+        if let Err(e) = engine.seed(router_id, SimTime::ZERO, FleetEvent::TickStart { tick: 0 }) {
+            panic!("fleet shard seed: {e}");
+        }
+    }
+    let run = match engine.run(shards) {
+        Ok(r) => r,
+        Err(e) => panic!("fleet shard run: {e}"),
+    };
+
+    // Merge: integer accumulators sum commutatively in shard-id order;
+    // UEs sort back into the global order so the group aggregation's
+    // float sums match the serial loop bit for bit.
     let mut group_active: Vec<u64> = vec![0; fleet.groups.len()];
-    let mut group_in_service: Vec<u64> = vec![0; fleet.groups.len()];
     let mut group_handoffs: Vec<u64> = vec![0; fleet.groups.len()];
     let mut fault_impact: Vec<u64> = vec![0; spec.faults.len()];
     let mut total_handoffs = 0u64;
     let mut kpi_samples = 0u64;
-    let mut scratch = MeasureScratch::new();
-    let mut attached: Vec<u32> = vec![0; sc.env.cells.len()];
-    // Pass-1 results carried into pass 2: (ue index, cell index,
-    // measurement, position).
-    let mut plan: Vec<(usize, usize, CellMeasurement, Point)> = Vec::new();
-
-    for tick in 0..ticks {
-        let t_s = tick as f64 * tick_s;
-        let active = faults_at(&spec.faults, t_s);
-        attached.iter_mut().for_each(|c| *c = 0);
-        plan.clear();
-
-        // Pass 1: serving-cell decisions and per-cell attach counts.
-        for (ui, ue) in ues.iter_mut().enumerate() {
-            if tick < ue.arrival_tick {
-                continue;
-            }
-            group_active[ue.group] += 1;
-            let pos = ue.path.at(tick);
-            let all = sc.env.measure_all_into(pos, ue.tech, &mut scratch);
-            kpi_samples += 1;
-            let best = all
-                .iter()
-                .find(|m| !active.outaged.contains(&m.pci))
-                .copied();
-            // Track outage denials: the top-ranked cell exists but is
-            // administratively down.
-            if let Some(top) = all.first() {
-                if active.outaged.contains(&top.pci) {
-                    if let Some(fi) = spec.faults.iter().position(|f| {
-                        let (s, e) = f.window();
-                        matches!(f, FaultSpec::CellOutage { pcis, .. } if pcis.contains(&top.pci))
-                            && t_s >= s
-                            && t_s < e
-                    }) {
-                        fault_impact[fi] += 1;
-                    }
+    let mut all_ues: Vec<(u32, Ue)> = Vec::with_capacity(n_ues);
+    let mut router = None;
+    for node in run.logics {
+        match node {
+            FleetNode::Ue(u) => {
+                for (acc, v) in group_active.iter_mut().zip(&u.group_active) {
+                    *acc += v;
                 }
-            }
-            let current = ue
-                .serving
-                .filter(|m| !active.outaged.contains(&m.pci))
-                .and_then(|m| all.iter().find(|n| n.pci == m.pci).copied());
-            let next = match (current, best) {
-                (None, Some(b)) => {
-                    if ue.serving.is_some() {
-                        // Lost the old cell (outage or out of range).
-                        group_handoffs[ue.group] += 1;
-                        total_handoffs += 1;
-                        note_storm_handoff(spec, t_s, &mut fault_impact);
-                    }
-                    Some(b)
+                for (acc, v) in group_handoffs.iter_mut().zip(&u.group_handoffs) {
+                    *acc += v;
                 }
-                (Some(c), Some(b)) => {
-                    if b.pci != c.pci && b.rsrp.value() > c.rsrp.value() + active.hysteresis_db {
-                        group_handoffs[ue.group] += 1;
-                        total_handoffs += 1;
-                        note_storm_handoff(spec, t_s, &mut fault_impact);
-                        Some(b)
-                    } else {
-                        Some(c)
-                    }
+                for (acc, v) in fault_impact.iter_mut().zip(&u.fault_impact) {
+                    *acc += v;
                 }
-                (Some(c), None) => Some(c),
-                (None, None) => None,
-            };
-            ue.serving = next;
-            if let Some(m) = next {
-                if let Some(idx) = sc.env.cell_index(m.pci) {
-                    attached[idx] += 1;
-                    plan.push((ui, idx, m, pos));
-                }
+                total_handoffs += u.total_handoffs;
+                kpi_samples += u.kpi_samples;
+                all_ues.extend(u.ues);
             }
-        }
-
-        // Pass 2: KPIs under PRB sharing, backhaul cap, app progress.
-        let in_service_now = plan.len().max(1) as f64;
-        let backhaul_share = active.backhaul_mbps.map(|c| c / in_service_now);
-        for &(ui, cell_idx, m, pos) in &plan {
-            let prb = 1.0 / f64::from(attached[cell_idx].max(1));
-            let kpi = sc.env.kpi_for(m, pos, prb);
-            let mut bitrate = if kpi.in_service {
-                kpi.bitrate.mbps()
-            } else {
-                0.0
-            };
-            if let Some(share) = backhaul_share {
-                if bitrate > share {
-                    bitrate = share;
-                    if let Some(fi) = brownout_index(spec, t_s) {
-                        fault_impact[fi] += 1;
-                    }
-                }
-            }
-            let ue = &mut ues[ui];
-            if kpi.in_service {
-                group_in_service[ue.group] += 1;
-            }
-            group_bitrate[ue.group].push(bitrate);
-            tick_app(ue, bitrate, tick_s);
-        }
-        // UEs that are active but unattached still burn app time at
-        // zero bitrate (video stalls, pages hang).
-        for ue in &mut ues {
-            if tick >= ue.arrival_tick && ue.serving.is_none() {
-                group_bitrate[ue.group].push(0.0);
-                tick_app(ue, 0.0, tick_s);
-            }
+            FleetNode::Router(r) => router = Some(r),
         }
     }
+    let Some(router) = router else {
+        unreachable!("the engine returns every shard, router included")
+    };
+    for (acc, v) in fault_impact.iter_mut().zip(&router.fault_impact) {
+        *acc += v;
+    }
+    let group_bitrate = router.group_bitrate;
+    let group_in_service = router.group_in_service;
+    all_ues.sort_unstable_by_key(|&(gi, _)| gi);
+    let ues: Vec<Ue> = all_ues.into_iter().map(|(_, u)| u).collect();
 
     fiveg_obs::counter_add("scenario.ticks", ticks);
     fiveg_obs::counter_add("scenario.kpi.samples", kpi_samples);
@@ -896,6 +1261,58 @@ mod tests {
             serde_json::to_string(&a).expect("json"),
             serde_json::to_string(&b).expect("json")
         );
+    }
+
+    #[test]
+    fn fleet_reports_and_counters_are_shard_count_invariant() {
+        // The PR's non-negotiable guarantee: artifact bytes AND obs
+        // counters are identical for any FIVEG_SHARDS value. Three
+        // groups of 40 UEs = 2 chunks, so 2/3/8 shards exercise both
+        // the multi-shard and the clamped (shards > chunks) paths.
+        let spec = parse_scenario(
+            r#"{ "name": "inv", "workload": { "kind": "fleet", "duration_s": 30,
+                 "tick_ms": 1000, "groups": [
+                 { "name": "walkers", "count": 40, "tech": "nr",
+                   "mobility": { "model": "waypoint" },
+                   "arrival": { "process": "steady" }, "app": { "kind": "bulk" } },
+                 { "name": "watchers", "count": 40, "tech": "lte",
+                   "mobility": { "model": "static" },
+                   "arrival": { "process": "diurnal", "peak_frac": 0.5 },
+                   "app": { "kind": "video", "resolution": "1080p", "scene": "static" } },
+                 { "name": "readers", "count": 40, "tech": "nr",
+                   "mobility": { "model": "static" },
+                   "arrival": { "process": "steady" },
+                   "app": { "kind": "web", "category": "search", "think_s": 2 } } ] },
+  "faults": [ { "kind": "backhaul_brownout", "start_s": 5, "end_s": 20,
+                "capacity_mbps": 120 } ] }"#,
+            "mem",
+        )
+        .expect("parses");
+        let sc = build_scenario(&spec, 2020);
+        let fleet = match &spec.workload {
+            WorkloadSpec::Fleet(f) => f.clone(),
+            WorkloadSpec::Survey(_) => unreachable!(),
+        };
+        let runs: Vec<(String, std::collections::BTreeMap<String, u64>)> = [1usize, 2, 3, 8]
+            .iter()
+            .map(|&s| {
+                let m = fiveg_obs::MetricsHandle::new();
+                let r = fiveg_obs::scoped(&m, || run_fleet_sharded(&sc, &spec, &fleet, 42, s));
+                (
+                    serde_json::to_string(&r).expect("json"),
+                    m.snapshot().counters,
+                )
+            })
+            .collect();
+        for (i, (json, counters)) in runs.iter().enumerate().skip(1) {
+            assert_eq!(json, &runs[0].0, "report bytes diverge at shards index {i}");
+            assert_eq!(
+                counters, &runs[0].1,
+                "obs counters diverge at shards index {i}"
+            );
+        }
+        assert!(runs[0].1.contains_key("shard.events"));
+        assert!(runs[0].1.contains_key("shard.msgs"));
     }
 
     #[test]

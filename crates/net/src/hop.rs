@@ -29,6 +29,16 @@ pub struct HopConfig {
 }
 
 impl HopConfig {
+    /// The conservative-PDES lookahead this hop contributes when it
+    /// crosses a shard boundary: its one-way propagation delay. Any
+    /// event a neighbouring shard sends across this hop arrives at
+    /// least this far in the future, which is what lets the shard
+    /// synchronizer release a safe window of that width (see
+    /// `fiveg_simcore::shard`).
+    pub fn lookahead(&self) -> SimDuration {
+        self.prop_delay
+    }
+
     /// A plain wired hop.
     pub fn wired(name: &str, rate_mbps: f64, prop: SimDuration, capacity_pkts: usize) -> Self {
         HopConfig {

@@ -179,6 +179,20 @@ impl PathConfig {
         }
     }
 
+    /// The conservative-PDES lookahead this path declares when its
+    /// endpoints live on different shards: the smallest one-way hop
+    /// latency ([`HopConfig::lookahead`]), i.e. the tightest bound on
+    /// how soon a message injected at one end can influence the other.
+    /// [`SimDuration::ZERO`] for an empty path (no lookahead claim —
+    /// callers must not use such a path as a shard boundary).
+    pub fn min_lookahead(&self) -> SimDuration {
+        self.hops
+            .iter()
+            .map(HopConfig::lookahead)
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     /// Index of the metro (bottleneck) hop in a paper path.
     pub fn metro_hop_index(&self) -> usize {
         self.hops
@@ -240,6 +254,19 @@ mod tests {
         let ul = PathConfig::paper(&PaperPathParams::nr_ul(), Direction::Uplink);
         assert_eq!(ul.hops[0].name, "radio");
         assert_eq!(ul.metro_hop_index(), 2);
+    }
+
+    #[test]
+    fn lookahead_is_the_smallest_one_way_hop_latency() {
+        let dl = PathConfig::paper(&PaperPathParams::nr_day(), Direction::Downlink);
+        // The 5G flat core's 2.5 ms is beaten by the 2 ms radio hop.
+        assert_eq!(dl.min_lookahead(), SimDuration::from_millis(2));
+        assert_eq!(dl.hops[3].lookahead(), dl.hops[3].prop_delay);
+        let empty = PathConfig {
+            hops: vec![],
+            reverse_delay: SimDuration::ZERO,
+        };
+        assert_eq!(empty.min_lookahead(), SimDuration::ZERO);
     }
 
     #[test]

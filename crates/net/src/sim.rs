@@ -450,10 +450,12 @@ impl NetSim {
     fn try_start_service(&mut self, hop_idx: usize) {
         let now = self.q.now();
         let hop = &mut self.hops[hop_idx];
-        if hop.busy || hop.queue.is_empty() {
+        if hop.busy {
             return;
         }
-        let head = *hop.queue.front().expect("checked non-empty");
+        let Some(&head) = hop.queue.front() else {
+            return;
+        };
         match hop.serialisation_time(&head.pkt, now) {
             Some(ser) => {
                 hop.busy = true;
@@ -481,9 +483,10 @@ impl NetSim {
 
     fn on_tx_done(&mut self, hop_idx: usize) {
         let now = self.q.now();
-        let served = self.in_service[hop_idx]
-            .take()
-            .expect("TxDone without a packet in service");
+        let Some(served) = self.in_service[hop_idx].take() else {
+            debug_assert!(false, "TxDone without a packet in service");
+            return;
+        };
         // Per-packet latency jitter (HARQ rounds) is applied after
         // serialisation so it does not consume link capacity. Exits are
         // clamped to in-order delivery at no faster than the link rate
@@ -588,13 +591,15 @@ impl NetSim {
                 let mut cursor = rx.sack_cursor;
                 let mut scanned = 0;
                 while (sack_len as usize) < sack.len() && scanned < n {
-                    let cand = rx
+                    let Some(cand) = rx
                         .ooo
                         .range(cursor..)
                         .next()
                         .or_else(|| rx.ooo.iter().next())
                         .map(|(&s, &e)| (s, e))
-                        .expect("map checked non-empty");
+                    else {
+                        break;
+                    };
                     cursor = cand.0 + 1;
                     scanned += 1;
                     if !sack[..sack_len as usize].contains(&cand) {

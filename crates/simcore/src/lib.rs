@@ -37,6 +37,7 @@ pub mod dist;
 pub mod event;
 pub mod hash;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -44,6 +45,9 @@ pub mod units;
 
 pub use event::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;
+pub use shard::{
+    ShardCtx, ShardEngine, ShardError, ShardId, ShardLogic, ShardRun, ShardStats, Topology,
+};
 pub use stats::{Cdf, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::TimeSeries;

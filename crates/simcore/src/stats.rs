@@ -222,7 +222,11 @@ impl Histogram {
             self.underflow += 1;
             return;
         }
-        if x >= *self.edges.last().expect("non-empty edges") {
+        let Some(&last) = self.edges.last() else {
+            self.overflow += 1;
+            return;
+        };
+        if x >= last {
             self.overflow += 1;
             return;
         }

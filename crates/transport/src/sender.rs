@@ -180,8 +180,12 @@ impl TcpSender {
     }
 
     /// Removes a scoreboard range, keeping the byte total in sync.
+    /// Removing a range that is not on the scoreboard is a no-op that
+    /// reports the empty range `[start, start)`.
     fn sack_remove(&mut self, start: u64) -> u64 {
-        let end = self.sacked.remove(&start).expect("range present");
+        let Some(end) = self.sacked.remove(&start) else {
+            return start;
+        };
         self.sacked_total -= end - start;
         end
     }
@@ -236,21 +240,19 @@ impl TcpSender {
     }
 
     fn update_rto(&mut self, rtt: SimDuration) {
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(rtt);
                 self.rttvar = SimDuration::from_nanos(rtt.as_nanos() / 2);
+                rtt
             }
             Some(srtt) => {
                 let err = if rtt > srtt { rtt - srtt } else { srtt - rtt };
                 self.rttvar =
                     SimDuration::from_nanos((3 * self.rttvar.as_nanos() + err.as_nanos()) / 4);
-                self.srtt = Some(SimDuration::from_nanos(
-                    (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,
-                ));
+                SimDuration::from_nanos((7 * srtt.as_nanos() + rtt.as_nanos()) / 8)
             }
-        }
-        let srtt = self.srtt.expect("just set");
+        };
+        self.srtt = Some(srtt);
         let candidate = srtt + SimDuration::from_nanos(4 * self.rttvar.as_nanos());
         self.rto = candidate.max(RTO_MIN).min(RTO_MAX);
     }
