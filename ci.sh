@@ -226,3 +226,26 @@ for f in target/ci-shard-x/*.json; do
   cmp "$f" "target/ci-shard-s8/$name" \
     || { echo "shard matrix: scenario artifact $name differs across the jobs x shards cross" >&2; exit 1; }
 done
+
+# City smoke: the procedural dense-urban scenario exercises the whole
+# city fast path — generate_city, the tiled spatial index (3x3 tiles
+# cross the 256-building auto-select threshold), the SoA fleet columns
+# and the incremental re-measurement cache — and its artifacts must be
+# byte-identical across shard counts. Counter identity for the city
+# micros (city.sweep.100k, city.attach.*) rides the perf gate above.
+stage "city smoke: dense-urban scenario (FIVEG_SHARDS=1 vs 8)"
+rm -rf target/ci-city-s1 target/ci-city-s8
+CITY_JOBS=(--scenario golden/scenarios/dense-urban-smoke.json)
+FIVEG_SHARDS=1 FIVEG_SWEEP_THREADS=8 "${REPRO[@]}" "${CITY_JOBS[@]}" --only scenario \
+  --jobs 8 --out target/ci-city-s1 > /dev/null
+FIVEG_SHARDS=8 FIVEG_SWEEP_THREADS=8 "${REPRO[@]}" "${CITY_JOBS[@]}" --only scenario \
+  --jobs 8 --out target/ci-city-s8 > /dev/null
+for f in target/ci-city-s1/*.json; do
+  name=$(basename "$f")
+  [[ "$name" == manifest.json ]] && continue
+  cmp "$f" "target/ci-city-s8/$name" \
+    || { echo "city smoke: artifact $name differs between FIVEG_SHARDS=1 and =8" >&2; exit 1; }
+done
+diff <(grep '"json_hash"' target/ci-city-s1/manifest.json) \
+     <(grep '"json_hash"' target/ci-city-s8/manifest.json) \
+  || { echo "city smoke: manifest fingerprints differ across shard counts" >&2; exit 1; }

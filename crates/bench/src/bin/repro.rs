@@ -327,6 +327,29 @@ fn main() -> ExitCode {
         bench
             .micro
             .insert("shard.fleet.sharded".to_string(), sharded);
+        let city = fiveg_bench::city_sweep_micro(cli.seed);
+        eprintln!(
+            "micro city.sweep.100k: {} samples across the tiled 3x3 dense-urban city in {} ms ({} samples/s)",
+            city.samples, city.wall_ms, city.samples_per_sec
+        );
+        bench.micro.insert("city.sweep.100k".to_string(), city);
+        let (full, incremental) = fiveg_bench::city_attach_micro(cli.seed);
+        eprintln!(
+            "micro city.attach: full {} ms vs incremental {} ms ({} of {} re-measurements skipped; speedup {:.2}x)",
+            full.wall_ms,
+            incremental.wall_ms,
+            incremental
+                .counters
+                .get("city.remeasure.skipped")
+                .copied()
+                .unwrap_or(0),
+            incremental.samples,
+            full.wall_ms as f64 / (incremental.wall_ms.max(1)) as f64
+        );
+        bench.micro.insert("city.attach.full".to_string(), full);
+        bench
+            .micro
+            .insert("city.attach.incremental".to_string(), incremental);
         let path = cli
             .bench_out
             .clone()

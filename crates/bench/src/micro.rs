@@ -138,9 +138,158 @@ pub fn fleet_shard_micro(seed: u64) -> (MicroBench, MicroBench) {
     )
 }
 
+/// Grid spacing for the `city.sweep.100k` workload, metres. On the
+/// 3×3-tile dense-urban city (1200 × 1200 m) this lands the outdoor
+/// sweep near 100 k measurement samples across both techs.
+const CITY_GRID_STEP_M: f64 = 4.0;
+
+/// The `city.sweep.100k` workload: a serial outdoor-grid coverage
+/// sweep of a 3×3-tile dense-urban procedural city — big enough to
+/// cross the tiled-spatial-index threshold, so this times the exact
+/// fast path a metro-scale scenario takes (tile-directory candidate
+/// streaming under ~160 cells), where `phy.sample` times the flat
+/// paper campus.
+pub fn city_sweep_micro(seed: u64) -> MicroBench {
+    let mut spec = fiveg_core::geo::CitySpec::dense_urban();
+    spec.tiles_x = 3;
+    spec.tiles_y = 3;
+    let campus = fiveg_core::geo::generate_city(&spec, &fiveg_core::simcore::SimRng::new(seed));
+    let env = fiveg_core::phy::RadioEnv::from_campus(&campus, seed ^ 0x5eed, 0.5, 0.05);
+    let grid = campus.map.grid_samples(CITY_GRID_STEP_M, true);
+    let m = MetricsHandle::new();
+    // fiveg-lint: allow(D003) -- microbench wall time; counters carry determinism
+    let start = Instant::now();
+    fiveg_obs::scoped(&m, || {
+        let mut scratch = MeasureScratch::new();
+        for &p in &grid {
+            for tech in [Tech::Lte, Tech::Nr] {
+                std::hint::black_box(env.measure_all_into(p, tech, &mut scratch).len());
+            }
+        }
+    });
+    let wall = start.elapsed();
+    let counters = m.snapshot().deterministic();
+    let samples = counters.get("phy.measure.samples").copied().unwrap_or(0);
+    let samples_per_sec = if wall.as_secs_f64() > 0.0 {
+        (samples as f64 / wall.as_secs_f64()) as u64
+    } else {
+        0
+    };
+    MicroBench {
+        wall_ms: wall.as_millis() as u64,
+        samples,
+        samples_per_sec,
+        counters,
+    }
+}
+
+/// The city fleet for the `city.attach.*` pair: a 2×2-tile dense-urban
+/// city with a mostly-parked population, where incremental
+/// re-measurement pays off hardest.
+const CITY_FLEET_SCENARIO: &str = r#"{
+  "name": "city_attach_micro",
+  "city": { "preset": "dense_urban" },
+  "workload": { "kind": "fleet", "duration_s": 30, "tick_ms": 1000, "groups": [
+    { "name": "walkers", "count": 64, "tech": "nr",
+      "mobility": { "model": "waypoint", "speed_min_kmh": 3, "speed_max_kmh": 10 },
+      "arrival": { "process": "steady" }, "app": { "kind": "bulk" } },
+    { "name": "parked", "count": 128, "tech": "lte",
+      "mobility": { "model": "static" },
+      "arrival": { "process": "steady" },
+      "app": { "kind": "video", "resolution": "1080p", "scene": "static" } } ] }
+}"#;
+
+/// The `city.attach.full` / `city.attach.incremental` workload pair:
+/// one city fleet scenario run twice — with the full re-measure oracle
+/// and with the incremental re-measurement cache. Returns
+/// `(full, incremental)`.
+///
+/// The incremental leg's counters carry the fast path's contract: the
+/// `city.remeasure.skipped` count is the cache's deterministic hit
+/// total (baseline-gated), and the synthetic `city.incremental.identical`
+/// counter is 1 only when both legs' reports serialise to identical
+/// bytes — so a cache-coherence regression fails the CI perf gate as
+/// counter drift. Wall time is the advisory speedup signal.
+pub fn city_attach_micro(seed: u64) -> (MicroBench, MicroBench) {
+    let spec = fiveg_core::scenario_dsl::parse_scenario(CITY_FLEET_SCENARIO, "city-attach-micro")
+        .unwrap_or_else(|e| panic!("inline micro scenario parses: {e}"));
+    let fleet = match &spec.workload {
+        fiveg_core::scenario_dsl::WorkloadSpec::Fleet(f) => f.clone(),
+        fiveg_core::scenario_dsl::WorkloadSpec::Survey(_) => {
+            unreachable!("the inline micro scenario is a fleet workload")
+        }
+    };
+    let sc = fiveg_core::scenario_run::build_scenario(&spec, seed);
+    let leg = |incremental: bool| {
+        let m = MetricsHandle::new();
+        // fiveg-lint: allow(D003) -- microbench wall time; counters carry determinism
+        let start = Instant::now();
+        let report = fiveg_obs::scoped(&m, || {
+            let run = if incremental {
+                fiveg_core::scenario_run::run_fleet_sharded
+            } else {
+                fiveg_core::scenario_run::run_fleet_full_remeasure
+            };
+            run(&sc, &spec, &fleet, seed ^ 0xc17, 2)
+        });
+        let wall = start.elapsed();
+        let json = serde_json::to_string(&report).unwrap_or_default();
+        (m, wall, json)
+    };
+    let (m_full, wall_full, json_full) = leg(false);
+    let (m_inc, wall_inc, json_inc) = leg(true);
+    fiveg_obs::scoped(&m_inc, || {
+        fiveg_obs::counter_add(
+            "city.incremental.identical",
+            u64::from(json_full == json_inc),
+        );
+    });
+    let finish = |m: &MetricsHandle, wall: std::time::Duration| {
+        let counters = m.snapshot().deterministic();
+        let samples = counters.get("scenario.kpi.samples").copied().unwrap_or(0);
+        let samples_per_sec = if wall.as_secs_f64() > 0.0 {
+            (samples as f64 / wall.as_secs_f64()) as u64
+        } else {
+            0
+        };
+        MicroBench {
+            wall_ms: wall.as_millis() as u64,
+            samples,
+            samples_per_sec,
+            counters,
+        }
+    };
+    (finish(&m_full, wall_full), finish(&m_inc, wall_inc))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn city_sweep_micro_covers_the_tiled_city() {
+        let a = city_sweep_micro(2020);
+        assert!(a.samples > 50_000, "workload too small: {}", a.samples);
+        let b = city_sweep_micro(2020);
+        assert_eq!(a.counters, b.counters, "micro counters must be seed-pure");
+    }
+
+    #[test]
+    fn city_attach_micro_legs_agree_and_cache_bites() {
+        let (full, inc) = city_attach_micro(2020);
+        assert_eq!(inc.counters["city.incremental.identical"], 1);
+        // Both legs push the same KPI sample stream...
+        assert_eq!(full.samples, inc.samples);
+        // ...but the incremental leg skips most re-measurements: the
+        // parked majority is cache-hot from its second active tick on.
+        let skipped = inc.counters["city.remeasure.skipped"];
+        assert!(
+            skipped * 2 > inc.samples,
+            "cache hits should dominate a mostly-parked fleet: {skipped} of {}",
+            inc.samples
+        );
+        assert_eq!(full.counters["city.remeasure.skipped"], 0);
+    }
 
     #[test]
     fn fleet_shard_micro_legs_agree() {

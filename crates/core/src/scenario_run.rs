@@ -51,15 +51,30 @@ pub const DEFAULT_HYSTERESIS_DB: f64 = 3.0;
 /// [`Scenario::paper`]`(base_seed)` exactly — same campus generation
 /// stream, same `seed ^ 0x5eed` environment derivation — which is what
 /// makes DSL artifacts comparable against registry goldens.
+///
+/// A `city` block switches the deployment to the procedural metro
+/// generator ([`fiveg_geo::generate_city`]); the generator draws from
+/// per-tile substreams of the same base seed, so a city scenario is as
+/// reproducible across machines and job orders as the paper campus.
 pub fn build_scenario(spec: &ScenarioSpec, base_seed: u64) -> Scenario {
-    let cfg = CampusConfig {
-        width: spec.campus.width_m,
-        height: spec.campus.height_m,
-        num_enb_sites: spec.campus.enb_sites as usize,
-        num_gnb_sites: spec.campus.gnb_sites as usize,
-        concrete_fraction: spec.campus.concrete_fraction,
+    let campus = if let Some(city) = &spec.city {
+        let Some(city_spec) = city.to_city_spec() else {
+            panic!(
+                "city preset `{}` is unknown; specs must be validated before building",
+                city.preset
+            );
+        };
+        fiveg_geo::generate_city(&city_spec, &SimRng::new(base_seed))
+    } else {
+        let cfg = CampusConfig {
+            width: spec.campus.width_m,
+            height: spec.campus.height_m,
+            num_enb_sites: spec.campus.enb_sites as usize,
+            num_gnb_sites: spec.campus.gnb_sites as usize,
+            concrete_fraction: spec.campus.concrete_fraction,
+        };
+        Campus::generate(&cfg, &mut SimRng::new(base_seed))
     };
-    let campus = Campus::generate(&cfg, &mut SimRng::new(base_seed));
     let (lte_load, nr_load) = spec.loads.resolve();
     let env = RadioEnv::from_campus(&campus, base_seed ^ 0x5eed, lte_load, nr_load);
     Scenario {
@@ -252,16 +267,63 @@ enum AppState {
     },
 }
 
-/// One simulated UE.
+/// One simulated UE — the *construction* record. The tick loop never
+/// touches this form: [`run_fleet_sharded`] decomposes built UEs into
+/// the struct-of-arrays [`UeColumns`] so the hot path walks parallel
+/// columns instead of hopping over heterogeneous structs.
 struct Ue {
     group: usize,
     tech: Tech,
     arrival_tick: u64,
     /// Position per tick: either fixed or a precomputed path.
     path: UePath,
-    serving: Option<CellMeasurement>,
     app: AppState,
     rng: SimRng,
+}
+
+/// Struct-of-arrays fleet state for one shard: column `i` of every
+/// vector belongs to the same UE, ascending by global index. The
+/// measure path reads `group`/`tech`/`path`/`serving` and the
+/// re-measurement cache; the grant path reads `app`/`rng` — splitting
+/// the columns keeps each pass on the bytes it actually uses.
+#[derive(Default)]
+struct UeColumns {
+    /// Global UE index per slot, ascending.
+    idx: Vec<u32>,
+    /// Group index per slot.
+    group: Vec<u32>,
+    /// Radio access technology per slot.
+    tech: Vec<Tech>,
+    /// Position source per slot.
+    path: Vec<UePath>,
+    /// Serving-cell measurement per slot.
+    serving: Vec<Option<CellMeasurement>>,
+    /// Application state per slot.
+    app: Vec<AppState>,
+    /// App-private RNG per slot.
+    rng: Vec<SimRng>,
+    /// Incremental re-measurement cache: the exact position bits the
+    /// cached list was measured at (`None` until first measured).
+    meas_pos: Vec<Option<[u64; 2]>>,
+    /// Cached [`RadioEnv::measure_all_into`] result per slot. The
+    /// measurement is a pure function of `(env, pos, tech)`, so as long
+    /// as the position bits match, replaying the cache is bit-identical
+    /// to re-measuring.
+    meas: Vec<Vec<CellMeasurement>>,
+}
+
+impl UeColumns {
+    fn push(&mut self, global_idx: u32, ue: Ue) {
+        self.idx.push(global_idx);
+        self.group.push(ue.group as u32);
+        self.tech.push(ue.tech);
+        self.path.push(ue.path);
+        self.serving.push(None);
+        self.app.push(ue.app);
+        self.rng.push(ue.rng);
+        self.meas_pos.push(None);
+        self.meas.push(Vec::new());
+    }
 }
 
 enum UePath {
@@ -406,7 +468,6 @@ fn build_ue(
         },
         arrival_tick: (arrival_s / tick_s) as u64,
         path,
-        serving: None,
         app,
         rng: app_rng,
     }
@@ -438,9 +499,9 @@ fn web_category(c: WebCategory) -> fiveg_apps::PageCategory {
     }
 }
 
-/// Advances a UE's application by one tick at `bitrate_mbps`.
-fn tick_app(ue: &mut Ue, bitrate_mbps: f64, tick_s: f64) {
-    match &mut ue.app {
+/// Advances one UE's application by one tick at `bitrate_mbps`.
+fn tick_app(app: &mut AppState, rng: &mut SimRng, bitrate_mbps: f64, tick_s: f64) {
+    match app {
         AppState::Bulk { mb } => *mb += bitrate_mbps * tick_s / 8.0,
         AppState::Video {
             demand_mbps,
@@ -469,7 +530,7 @@ fn tick_app(ue: &mut Ue, bitrate_mbps: f64, tick_s: f64) {
                 }
                 if *remaining_mbit <= 0.0 {
                     // Start the next page.
-                    let page = fiveg_apps::WebPage::sample(web_category(*category), &mut ue.rng);
+                    let page = fiveg_apps::WebPage::sample(web_category(*category), rng);
                     *remaining_mbit = page.size_bytes as f64 * 8.0 / 1e6;
                     *elapsed_s = 0.0;
                 }
@@ -491,7 +552,7 @@ fn tick_app(ue: &mut Ue, bitrate_mbps: f64, tick_s: f64) {
                     *elapsed_s = 0.0;
                     // Exponential think time with the configured mean.
                     *think_left_s = if *think_s > 0.0 {
-                        -(1.0 - ue.rng.f64()).ln() * *think_s
+                        -(1.0 - rng.f64()).ln() * *think_s
                     } else {
                         0.0
                     };
@@ -574,8 +635,15 @@ struct UeCells<'a> {
     tick_s: f64,
     delta: SimDuration,
     router: usize,
-    /// `(global index, state)`, ascending by global index.
-    ues: Vec<(u32, Ue)>,
+    /// Struct-of-arrays UE state, ascending by global index.
+    ues: UeColumns,
+    /// Re-use cached measurements for UEs whose position bits did not
+    /// change since the last measure (the city-scale fast path). `false`
+    /// is the full re-measure oracle used by determinism tests.
+    incremental: bool,
+    /// Measurements served from the per-UE cache instead of re-running
+    /// [`RadioEnv::measure_all_into`].
+    remeasure_skipped: u64,
     /// Chunk id → measurement scratch, created on first use.
     scratches: BTreeMap<u32, MeasureScratch>,
     /// Tick of the cached fault resolution (`u64::MAX` = none).
@@ -595,24 +663,48 @@ impl UeCells<'_> {
             self.faults = faults_at(&self.spec.faults, t_s);
             self.faults_tick = tick;
         }
-        let Ok(slot) = self.ues.binary_search_by_key(&ue, |(gi, _)| *gi) else {
+        let Ok(slot) = self.ues.idx.binary_search(&ue) else {
             return;
         };
-        let chunk = ue / crate::par::CHUNK as u32;
-        let scratch = self.scratches.entry(chunk).or_default();
-        let active = &self.faults;
-        let (_, ue_state) = &mut self.ues[slot];
-        self.group_active[ue_state.group] += 1;
-        let pos = ue_state.path.at(tick);
-        let all = self.sc.env.measure_all_into(pos, ue_state.tech, scratch);
+        let group = self.ues.group[slot] as usize;
+        self.group_active[group] += 1;
+        let pos = self.ues.path[slot].at(tick);
+        // Incremental re-measurement: `measure_all_into` is a pure
+        // function of `(env, pos, tech)`, so when the position bits are
+        // unchanged the cached list replays bit-identically. Compare
+        // bits, not floats: `-0.0 == 0.0` yet the two can diverge
+        // downstream (atan2 of a signed zero), and a cache must never
+        // be *more* tolerant than the function it shadows.
+        let key = [pos.x.to_bits(), pos.y.to_bits()];
+        if self.incremental && self.ues.meas_pos[slot] == Some(key) {
+            self.remeasure_skipped += 1;
+        } else {
+            let chunk = ue / crate::par::CHUNK as u32;
+            let scratch = self.scratches.entry(chunk).or_default();
+            let fresh = self
+                .sc
+                .env
+                .measure_all_into(pos, self.ues.tech[slot], scratch);
+            let cache = &mut self.ues.meas[slot];
+            cache.clear();
+            cache.extend_from_slice(fresh);
+            self.ues.meas_pos[slot] = Some(key);
+        }
         self.kpi_samples += 1;
+        let serving_prev = self.ues.serving[slot];
+        let active = &self.faults;
+        let all = &self.ues.meas[slot];
         let best = all
             .iter()
             .find(|m| !active.outaged.contains(&m.pci))
             .copied();
+        let top = all.first().copied();
+        let current = serving_prev
+            .filter(|m| !active.outaged.contains(&m.pci))
+            .and_then(|m| all.iter().find(|n| n.pci == m.pci).copied());
         // Track outage denials: the top-ranked cell exists but is
         // administratively down.
-        if let Some(top) = all.first() {
+        if let Some(top) = top {
             if active.outaged.contains(&top.pci) {
                 if let Some(fi) = self.spec.faults.iter().position(|f| {
                     let (s, e) = f.window();
@@ -624,23 +716,20 @@ impl UeCells<'_> {
                 }
             }
         }
-        let current = ue_state
-            .serving
-            .filter(|m| !active.outaged.contains(&m.pci))
-            .and_then(|m| all.iter().find(|n| n.pci == m.pci).copied());
+        let hysteresis_db = self.faults.hysteresis_db;
         let next = match (current, best) {
             (None, Some(b)) => {
-                if ue_state.serving.is_some() {
+                if serving_prev.is_some() {
                     // Lost the old cell (outage or out of range).
-                    self.group_handoffs[ue_state.group] += 1;
+                    self.group_handoffs[group] += 1;
                     self.total_handoffs += 1;
                     note_storm_handoff(self.spec, t_s, &mut self.fault_impact);
                 }
                 Some(b)
             }
             (Some(c), Some(b)) => {
-                if b.pci != c.pci && b.rsrp.value() > c.rsrp.value() + active.hysteresis_db {
-                    self.group_handoffs[ue_state.group] += 1;
+                if b.pci != c.pci && b.rsrp.value() > c.rsrp.value() + hysteresis_db {
+                    self.group_handoffs[group] += 1;
                     self.total_handoffs += 1;
                     note_storm_handoff(self.spec, t_s, &mut self.fault_impact);
                     Some(b)
@@ -651,7 +740,7 @@ impl UeCells<'_> {
             (Some(c), None) => Some(c),
             (None, None) => None,
         };
-        ue_state.serving = next;
+        self.ues.serving[slot] = next;
         match next {
             Some(m) => {
                 if let Some(idx) = self.sc.env.cell_index(m.pci) {
@@ -672,9 +761,13 @@ impl UeCells<'_> {
     }
 
     fn on_grant(&mut self, ue: u32, bitrate_mbps: f64) {
-        if let Ok(slot) = self.ues.binary_search_by_key(&ue, |(gi, _)| *gi) {
-            let (_, ue_state) = &mut self.ues[slot];
-            tick_app(ue_state, bitrate_mbps, self.tick_s);
+        if let Ok(slot) = self.ues.idx.binary_search(&ue) {
+            tick_app(
+                &mut self.ues.app[slot],
+                &mut self.ues.rng[slot],
+                bitrate_mbps,
+                self.tick_s,
+            );
         }
     }
 }
@@ -854,6 +947,34 @@ pub fn run_fleet_sharded(
     run_seed: u64,
     shards: usize,
 ) -> FleetReport {
+    run_fleet_impl(sc, spec, fleet, run_seed, shards, true)
+}
+
+/// [`run_fleet_sharded`] with incremental re-measurement disabled:
+/// every active UE re-runs the full `measure_all` pass every tick.
+///
+/// This is the determinism *oracle* for the incremental fast path —
+/// its report must be byte-identical to [`run_fleet_sharded`]'s for
+/// any scenario — and the slow leg of the `city.attach.incremental`
+/// microbench. Product code should always take [`run_fleet_sharded`].
+pub fn run_fleet_full_remeasure(
+    sc: &Scenario,
+    spec: &ScenarioSpec,
+    fleet: &FleetSpec,
+    run_seed: u64,
+    shards: usize,
+) -> FleetReport {
+    run_fleet_impl(sc, spec, fleet, run_seed, shards, false)
+}
+
+fn run_fleet_impl(
+    sc: &Scenario,
+    spec: &ScenarioSpec,
+    fleet: &FleetSpec,
+    run_seed: u64,
+    shards: usize,
+    incremental: bool,
+) -> FleetReport {
     let tick_dur = SimDuration::from_millis(fleet.tick_ms);
     let tick_s = tick_dur.as_secs_f64();
     let ticks = (fleet.duration_s as f64 / tick_s).round() as u64;
@@ -898,9 +1019,9 @@ pub fn run_fleet_sharded(
 
     let arrival_ticks: Vec<u64> = ues.iter().map(|u| u.arrival_tick).collect();
     let ue_group: Vec<usize> = ues.iter().map(|u| u.group).collect();
-    let mut per_shard: Vec<Vec<(u32, Ue)>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut per_shard: Vec<UeColumns> = (0..shards).map(|_| UeColumns::default()).collect();
     for (gi, ue) in ues.into_iter().enumerate() {
-        per_shard[(gi / crate::par::CHUNK) % shards].push((gi as u32, ue));
+        per_shard[(gi / crate::par::CHUNK) % shards].push(gi as u32, ue);
     }
     let mut logics: Vec<FleetNode<'_>> = per_shard
         .into_iter()
@@ -912,6 +1033,8 @@ pub fn run_fleet_sharded(
                 delta,
                 router: router_id,
                 ues: shard_ues,
+                incremental,
+                remeasure_skipped: 0,
                 scratches: BTreeMap::new(),
                 faults_tick: u64::MAX,
                 faults: ActiveFaults {
@@ -967,7 +1090,9 @@ pub fn run_fleet_sharded(
     let mut fault_impact: Vec<u64> = vec![0; spec.faults.len()];
     let mut total_handoffs = 0u64;
     let mut kpi_samples = 0u64;
-    let mut all_ues: Vec<(u32, Ue)> = Vec::with_capacity(n_ues);
+    let mut remeasure_skipped = 0u64;
+    // `(global index, group, app)` — all the merge needs from a UE.
+    let mut all_ues: Vec<(u32, u32, AppState)> = Vec::with_capacity(n_ues);
     let mut router = None;
     for node in run.logics {
         match node {
@@ -983,7 +1108,13 @@ pub fn run_fleet_sharded(
                 }
                 total_handoffs += u.total_handoffs;
                 kpi_samples += u.kpi_samples;
-                all_ues.extend(u.ues);
+                remeasure_skipped += u.remeasure_skipped;
+                let UeColumns {
+                    idx, group, app, ..
+                } = u.ues;
+                for ((gi, g), a) in idx.into_iter().zip(group).zip(app) {
+                    all_ues.push((gi, g, a));
+                }
             }
             FleetNode::Router(r) => router = Some(r),
         }
@@ -996,13 +1127,13 @@ pub fn run_fleet_sharded(
     }
     let group_bitrate = router.group_bitrate;
     let group_in_service = router.group_in_service;
-    all_ues.sort_unstable_by_key(|&(gi, _)| gi);
-    let ues: Vec<Ue> = all_ues.into_iter().map(|(_, u)| u).collect();
+    all_ues.sort_unstable_by_key(|&(gi, _, _)| gi);
 
     fiveg_obs::counter_add("scenario.ticks", ticks);
     fiveg_obs::counter_add("scenario.kpi.samples", kpi_samples);
     fiveg_obs::counter_add("scenario.handoffs", total_handoffs);
     fiveg_obs::counter_add("scenario.faults", spec.faults.len() as u64);
+    fiveg_obs::counter_add("city.remeasure.skipped", remeasure_skipped);
 
     let groups = fleet
         .groups
@@ -1014,8 +1145,8 @@ pub fn run_fleet_sharded(
             let mut video_active = 0u64;
             let mut web_pages = 0u64;
             let mut plt_total = 0.0;
-            for ue in ues.iter().filter(|u| u.group == gi) {
-                match &ue.app {
+            for (_, _, app) in all_ues.iter().filter(|(_, g, _)| *g as usize == gi) {
+                match app {
                     AppState::Bulk { mb } => bulk_mb += mb,
                     AppState::Video { stall_ticks: s, .. } => {
                         stall_ticks += s;
@@ -1313,6 +1444,163 @@ mod tests {
         }
         assert!(runs[0].1.contains_key("shard.events"));
         assert!(runs[0].1.contains_key("shard.msgs"));
+    }
+
+    mod incremental_oracle {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// The deployment is shared across cases: the property is about
+        /// the fleet loop, and rebuilding the radio environment per case
+        /// would dominate the test's runtime.
+        fn paper_sc() -> &'static Scenario {
+            static SC: OnceLock<Scenario> = OnceLock::new();
+            SC.get_or_init(|| Scenario::paper(2020))
+        }
+
+        fn group_strategy(tag: usize) -> impl Strategy<Value = UeGroupSpec> {
+            let mobility = prop_oneof![
+                Just(MobilitySpec::Static),
+                Just(MobilitySpec::Waypoint {
+                    speed_min_kmh: 3.0,
+                    speed_max_kmh: 12.0,
+                }),
+                Just(MobilitySpec::Transect {
+                    from: (20.0, 30.0),
+                    to: (460.0, 880.0),
+                    speed_kmh: 30.0,
+                }),
+            ];
+            (
+                1u32..5,
+                prop_oneof![Just(TechSpec::Lte), Just(TechSpec::Nr)],
+                mobility,
+            )
+                .prop_map(move |(count, tech, mobility)| UeGroupSpec {
+                    name: format!("g{tag}"),
+                    count,
+                    tech,
+                    mobility,
+                    arrival: ArrivalSpec::Steady,
+                    app: AppSpec::Bulk,
+                })
+        }
+
+        fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
+            prop_oneof![
+                (0.0f64..10.0, 1.0f64..10.0).prop_map(|(s, d)| FaultSpec::CellOutage {
+                    start_s: s,
+                    end_s: s + d,
+                    pcis: vec![60, 61, 62, 200, 201],
+                }),
+                (0.0f64..10.0, 1.0f64..10.0, 10.0f64..200.0).prop_map(|(s, d, c)| {
+                    FaultSpec::BackhaulBrownout {
+                        start_s: s,
+                        end_s: s + d,
+                        capacity_mbps: c,
+                    }
+                }),
+                (0.0f64..10.0, 1.0f64..10.0).prop_map(|(s, d)| FaultSpec::HandoffStorm {
+                    start_s: s,
+                    end_s: s + d,
+                    hysteresis_db: 0.5,
+                }),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// The incremental re-measurement cache is invisible in the
+            /// artifact: for random mobility mixes, fault schedules and
+            /// seeds, the incremental run's report bytes equal the full
+            /// re-measure oracle's at both the serial and a multi-shard
+            /// count.
+            #[test]
+            fn incremental_equals_full_remeasure(
+                gs in (group_strategy(0), group_strategy(1), proptest::prelude::any::<bool>()),
+                faults in prop::collection::vec(fault_strategy(), 0..3),
+                run_seed in 0u64..1000,
+            ) {
+                let (g0, g1, two) = gs;
+                let mut groups = vec![g0];
+                if two {
+                    groups.push(g1);
+                }
+                let fleet = FleetSpec {
+                    duration_s: 12,
+                    tick_ms: 1000,
+                    groups,
+                };
+                let spec = ScenarioSpec {
+                    name: "oracle".into(),
+                    description: String::new(),
+                    campus: fiveg_scenario::CampusSpec::default(),
+                    city: None,
+                    loads: fiveg_scenario::LoadSpec::default(),
+                    workload: WorkloadSpec::Fleet(fleet.clone()),
+                    faults,
+                };
+                prop_assert_eq!(spec.validate(), Ok(()));
+                let sc = paper_sc();
+                for shards in [1usize, 3] {
+                    let fast = run_fleet_sharded(sc, &spec, &fleet, run_seed, shards);
+                    let full = run_fleet_full_remeasure(sc, &spec, &fleet, run_seed, shards);
+                    prop_assert_eq!(
+                        serde_json::to_string(&fast).expect("json"),
+                        serde_json::to_string(&full).expect("json"),
+                        "incremental vs full diverge at shards={}", shards
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn city_scenario_builds_tiled_deployment_and_runs() {
+        let spec = parse_scenario(
+            r#"{
+  "name": "metro_t",
+  "city": { "preset": "dense_urban", "tiles_x": 3, "tiles_y": 3 },
+  "workload": { "kind": "fleet", "duration_s": 10, "tick_ms": 1000, "groups": [
+    { "name": "walkers", "count": 8, "tech": "nr",
+      "mobility": { "model": "waypoint", "speed_min_kmh": 3, "speed_max_kmh": 10 },
+      "arrival": { "process": "steady" }, "app": { "kind": "bulk" } },
+    { "name": "parked", "count": 8, "tech": "lte",
+      "mobility": { "model": "static" },
+      "arrival": { "process": "steady" }, "app": { "kind": "bulk" } } ] }
+}"#,
+            "mem",
+        )
+        .expect("parses");
+        let sc = build_scenario(&spec, 2020);
+        // 3x3 dense-urban tiles cross the tiled-index threshold, and the
+        // site grid scales with the spec: 9 tiles x 4 eNB x 3 sectors.
+        assert!(sc
+            .campus
+            .map
+            .spatial_index()
+            .is_some_and(fiveg_geo::MapIndex::is_tiled));
+        assert_eq!(sc.env.num_cells(Tech::Lte), 108);
+        assert_eq!(sc.env.num_cells(Tech::Nr), 54);
+        let fleet = match &spec.workload {
+            WorkloadSpec::Fleet(f) => f.clone(),
+            WorkloadSpec::Survey(_) => unreachable!(),
+        };
+        let m = fiveg_obs::MetricsHandle::new();
+        let r = fiveg_obs::scoped(&m, || run_fleet_sharded(&sc, &spec, &fleet, 7, 2));
+        assert_eq!(r.ues, 16);
+        assert!(r.groups.iter().all(|g| g.active_ue_ticks > 0));
+        // Static UEs hit the re-measurement cache after their first
+        // measured tick; the counter must see those skips.
+        let skipped = m
+            .snapshot()
+            .counters
+            .get("city.remeasure.skipped")
+            .copied()
+            .unwrap_or(0);
+        assert!(skipped > 0, "static UEs should skip re-measurement");
     }
 
     #[test]

@@ -16,8 +16,13 @@
 //! * [`index`] — uniform-grid spatial index that prefilters the buildings
 //!   a point or ray can touch, keeping the hot propagation queries
 //!   O(candidates) instead of O(buildings).
+//! * [`tiled`] — hierarchical tile-directory index for city-scale maps
+//!   (same conservative query contract, O(footprint) memory).
 //! * [`campus`] — deterministic synthetic campus generator matched to the
 //!   paper's dimensions and site densities.
+//! * [`city`] — procedural metro generator tiling the campus grammar
+//!   over `CitySpec` footprints (3GPP-style dense-urban / rural /
+//!   indoor-hotspot presets), seeded per tile from `SimRng` substreams.
 //! * [`mobility`] — walk/bike mobility models producing timestamped
 //!   position traces (road survey, random waypoint, linear transects).
 
@@ -26,14 +31,18 @@
 
 pub mod building;
 pub mod campus;
+pub mod city;
 pub mod index;
 pub mod map;
 pub mod mobility;
 pub mod point;
+pub mod tiled;
 
 pub use building::{Building, Material};
 pub use campus::{Campus, CampusConfig, SitePlan};
+pub use city::{generate_city, CitySpec};
 pub use index::SpatialIndex;
-pub use map::CampusMap;
+pub use map::{CampusMap, MapIndex};
 pub use mobility::{LinearTransect, MobilityTrace, RandomWaypoint, RoadSurvey, TracePoint};
 pub use point::{Point, Rect, Segment};
+pub use tiled::TiledSpatialIndex;

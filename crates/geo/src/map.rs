@@ -4,8 +4,89 @@
 use crate::building::{trace_ray, Building, RayObstruction};
 use crate::index::SpatialIndex;
 use crate::point::{Point, Rect, Segment};
+use crate::tiled::TiledSpatialIndex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Building count at which [`MapIndex::build`] switches from the flat
+/// uniform grid to the tiled index. The paper campus (≤48 buildings)
+/// always stays flat — so every committed golden keeps its exact
+/// index — while generated cities go tiled and avoid the flat form's
+/// O(cells × buildings) bitmap memory.
+pub const TILED_INDEX_THRESHOLD: usize = 256;
+
+/// The spatial acceleration structure behind a [`CampusMap`]: the flat
+/// uniform grid for campus-sized maps, the hierarchical tiled index
+/// for city-sized ones. Both forms share the conservative,
+/// ascending-candidate query contract, so callers never branch on the
+/// variant.
+#[derive(Debug, Clone)]
+pub enum MapIndex {
+    /// Flat uniform grid with per-cell candidate bitmaps
+    /// ([`SpatialIndex`]).
+    Flat(SpatialIndex),
+    /// Tile directory over per-tile grids ([`TiledSpatialIndex`]).
+    Tiled(TiledSpatialIndex),
+}
+
+impl MapIndex {
+    /// Builds the right index form for `buildings` (see
+    /// [`TILED_INDEX_THRESHOLD`]). Selection is a pure function of the
+    /// building count, so a given map always gets the same index.
+    pub fn build(bounds: Rect, buildings: &[Building]) -> MapIndex {
+        if buildings.len() >= TILED_INDEX_THRESHOLD {
+            MapIndex::Tiled(TiledSpatialIndex::build(bounds, buildings))
+        } else {
+            MapIndex::Flat(SpatialIndex::build(bounds, buildings))
+        }
+    }
+
+    /// Whether this is the tiled form.
+    pub fn is_tiled(&self) -> bool {
+        matches!(self, MapIndex::Tiled(_))
+    }
+
+    /// Number of `u64` words in a candidate bitmap.
+    pub fn mask_words(&self) -> usize {
+        match self {
+            MapIndex::Flat(i) => i.mask_words(),
+            MapIndex::Tiled(i) => i.mask_words(),
+        }
+    }
+
+    /// Building indices whose footprint may contain `p` (ascending).
+    pub fn candidates_point(&self, p: Point) -> &[u32] {
+        match self {
+            MapIndex::Flat(i) => i.candidates_point(p),
+            MapIndex::Tiled(i) => i.candidates_point(p),
+        }
+    }
+
+    /// Conservative segment candidates, ascending and deduplicated.
+    pub fn candidates_segment(&self, seg: Segment, out: &mut Vec<u32>) {
+        match self {
+            MapIndex::Flat(i) => i.candidates_segment(seg, out),
+            MapIndex::Tiled(i) => i.candidates_segment(seg, out),
+        }
+    }
+
+    /// Bitmap form of [`MapIndex::candidates_segment`].
+    pub fn candidates_segment_mask(&self, seg: Segment, words: &mut Vec<u64>) {
+        match self {
+            MapIndex::Flat(i) => i.candidates_segment_mask(seg, words),
+            MapIndex::Tiled(i) => i.candidates_segment_mask(seg, words),
+        }
+    }
+
+    /// Existence scan along `seg` (duplicates possible); stops when
+    /// `test` returns `true` and returns whether it did.
+    pub fn scan_segment_until(&self, seg: Segment, test: impl FnMut(u32) -> bool) -> bool {
+        match self {
+            MapIndex::Flat(i) => i.scan_segment_until(seg, test),
+            MapIndex::Tiled(i) => i.scan_segment_until(seg, test),
+        }
+    }
+}
 
 /// A road represented as a polyline of waypoints.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,6 +113,7 @@ impl Road {
             return self.waypoints[0];
         }
         let mut remaining = s;
+        let mut last = self.waypoints[0];
         for w in self.waypoints.windows(2) {
             let seg_len = w[0].distance(w[1]);
             if remaining <= seg_len {
@@ -43,8 +125,9 @@ impl Road {
                 return w[0].lerp(w[1], t);
             }
             remaining -= seg_len;
+            last = w[1];
         }
-        *self.waypoints.last().expect("non-empty road")
+        last
     }
 }
 
@@ -57,12 +140,13 @@ pub struct CampusMap {
     pub buildings: Vec<Building>,
     /// Road network.
     pub roads: Vec<Road>,
-    /// Spatial acceleration structure over `buildings`. Derived data,
-    /// excluded from serialization (the manual [`Serialize`] impl below
-    /// writes only the three geometry fields); a map without an index
-    /// answers every query by full scan until
-    /// [`CampusMap::ensure_index`] rebuilds it.
-    index: Option<Arc<SpatialIndex>>,
+    /// Spatial acceleration structure over `buildings` (flat or tiled,
+    /// auto-selected by [`MapIndex::build`]). Derived data, excluded
+    /// from serialization (the manual [`Serialize`] impl below writes
+    /// only the three geometry fields); a map without an index answers
+    /// every query by full scan until [`CampusMap::ensure_index`]
+    /// rebuilds it.
+    index: Option<Arc<MapIndex>>,
 }
 
 /// Manual impl (instead of derive) so the derived-data `index` field
@@ -83,7 +167,7 @@ impl<'de> Deserialize<'de> for CampusMap {}
 impl CampusMap {
     /// Constructs a map (and its spatial index).
     pub fn new(bounds: Rect, buildings: Vec<Building>, roads: Vec<Road>) -> Self {
-        let index = Some(Arc::new(SpatialIndex::build(bounds, &buildings)));
+        let index = Some(Arc::new(MapIndex::build(bounds, &buildings)));
         CampusMap {
             bounds,
             buildings,
@@ -94,15 +178,24 @@ impl CampusMap {
 
     /// The spatial index, if built. `None` only for maps freshly
     /// deserialized (the index is derived data and not serialized).
-    pub fn spatial_index(&self) -> Option<&SpatialIndex> {
+    pub fn spatial_index(&self) -> Option<&MapIndex> {
         self.index.as_deref()
     }
 
     /// Rebuilds the spatial index if absent (after deserialization).
     pub fn ensure_index(&mut self) {
         if self.index.is_none() {
-            self.index = Some(Arc::new(SpatialIndex::build(self.bounds, &self.buildings)));
+            self.index = Some(Arc::new(MapIndex::build(self.bounds, &self.buildings)));
         }
+    }
+
+    /// Number of `u64` words in a candidate bitmap for this map; the
+    /// full-scan fallback value when no index is built.
+    pub fn mask_words(&self) -> usize {
+        self.index.as_ref().map_or_else(
+            || self.buildings.len().div_ceil(64).max(1),
+            |i| i.mask_words(),
+        )
     }
 
     /// Whether `p` is indoors (inside any building footprint).

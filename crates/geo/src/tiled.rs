@@ -1,0 +1,418 @@
+//! Hierarchical (tiled) spatial index for city-scale maps.
+//!
+//! The flat [`SpatialIndex`](crate::index::SpatialIndex) keeps a bitmap
+//! word run per grid cell sized by the *total* building count, so its
+//! memory is O(cells × buildings / 64) — fine for a 48-building campus,
+//! quadratic-ish for a metro with tens of thousands of buildings. This
+//! index keeps a coarse **tile directory** (tiles of
+//! [`TILE_CELLS`] × [`TILE_CELLS`] grid cells) where each occupied tile
+//! owns a local uniform grid of per-cell candidate lists and empty
+//! tiles cost nothing. There are no per-cell global bitmaps at all:
+//! memory is O(footprint registrations), and a ray query walks only the
+//! tiles its slab touches, so query cost stays local instead of
+//! O(city).
+//!
+//! The query contract is identical to the flat index — candidate sets
+//! are **conservative** (false positives possible, never false
+//! negatives; ranges inflated by [`EPS`]) and list-form candidates come
+//! out in ascending building-index order, which the "last containing
+//! building wins" rule in `fiveg-phy` relies on. Property tests in
+//! this module pin tiled candidates ⊇ flat candidates and identical
+//! hit results on generated cities.
+
+use crate::building::Building;
+use crate::index::{CELL_M, EPS};
+use crate::point::{Point, Rect, Segment};
+
+/// Grid cells per tile edge: tiles are `TILE_CELLS × CELL_M` = 320 m
+/// square, a few city blocks — big enough that a short site→UE ray
+/// usually stays inside one or two tiles, small enough that an empty
+/// park or river tile stays `None`.
+pub const TILE_CELLS: usize = 8;
+
+/// One occupied tile: a local `TILE_CELLS`² uniform grid of per-cell
+/// candidate lists holding **global** building indices (ascending by
+/// construction — buildings register in index order).
+#[derive(Debug, Clone)]
+struct Tile {
+    cells: Vec<Vec<u32>>,
+}
+
+impl Tile {
+    fn empty() -> Tile {
+        Tile {
+            cells: vec![Vec::new(); TILE_CELLS * TILE_CELLS],
+        }
+    }
+}
+
+/// A two-level spatial index: a `tx × ty` directory of optional tiles
+/// over a conceptual uniform grid of [`CELL_M`]-metre cells (the same
+/// geometry as the flat index, so the slab walk is shared logic).
+#[derive(Debug, Clone)]
+pub struct TiledSpatialIndex {
+    bounds: Rect,
+    cell_m: f64,
+    tx: usize,
+    ty: usize,
+    /// Global cell-grid dimensions: `tx * TILE_CELLS` × `ty * TILE_CELLS`.
+    gnx: usize,
+    gny: usize,
+    tiles: Vec<Option<Box<Tile>>>,
+    n_buildings: usize,
+}
+
+const NO_CANDIDATES: &[u32] = &[];
+
+impl TiledSpatialIndex {
+    /// Builds the index over `buildings`. `bounds` is a hint; the grid
+    /// is extended to cover any footprint that sticks out of it.
+    pub fn build(bounds: Rect, buildings: &[Building]) -> TiledSpatialIndex {
+        let mut cover = bounds;
+        for b in buildings {
+            cover = Rect::new(
+                Point::new(
+                    cover.min.x.min(b.footprint.min.x),
+                    cover.min.y.min(b.footprint.min.y),
+                ),
+                Point::new(
+                    cover.max.x.max(b.footprint.max.x),
+                    cover.max.y.max(b.footprint.max.y),
+                ),
+            );
+        }
+        let cover = cover.inflate(EPS);
+        let cell_m = CELL_M;
+        let tile_m = cell_m * TILE_CELLS as f64;
+        let tx = ((cover.width() / tile_m).ceil() as usize).max(1);
+        let ty = ((cover.height() / tile_m).ceil() as usize).max(1);
+        let mut idx = TiledSpatialIndex {
+            bounds: cover,
+            cell_m,
+            tx,
+            ty,
+            gnx: tx * TILE_CELLS,
+            gny: ty * TILE_CELLS,
+            tiles: (0..tx * ty).map(|_| None).collect(),
+            n_buildings: buildings.len(),
+        };
+        for (bi, b) in buildings.iter().enumerate() {
+            let fp = b.footprint.inflate(EPS);
+            let (ix0, iy0) = idx.cell_floor(fp.min);
+            let (ix1, iy1) = idx.cell_floor(fp.max);
+            for iy in iy0..=iy1 {
+                for ix in ix0..=ix1 {
+                    let t = (iy / TILE_CELLS) * idx.tx + ix / TILE_CELLS;
+                    let tile = idx.tiles[t].get_or_insert_with(|| Box::new(Tile::empty()));
+                    tile.cells[(iy % TILE_CELLS) * TILE_CELLS + ix % TILE_CELLS].push(bi as u32);
+                }
+            }
+        }
+        idx
+    }
+
+    /// Number of `u64` words in a candidate bitmap
+    /// ([`TiledSpatialIndex::candidates_segment_mask`]): sized by the
+    /// global building count, like the flat index's.
+    pub fn mask_words(&self) -> usize {
+        self.n_buildings.div_ceil(64).max(1)
+    }
+
+    /// Number of indexed buildings.
+    pub fn num_buildings(&self) -> usize {
+        self.n_buildings
+    }
+
+    /// Tile-directory dimensions `(tx, ty)` and occupied-tile count.
+    pub fn tile_stats(&self) -> (usize, usize, usize) {
+        let occupied = self.tiles.iter().filter(|t| t.is_some()).count();
+        (self.tx, self.ty, occupied)
+    }
+
+    /// Grid coordinates of `p` on the global cell grid, clamped in.
+    fn cell_floor(&self, p: Point) -> (usize, usize) {
+        let ix = ((p.x - self.bounds.min.x) / self.cell_m).floor();
+        let iy = ((p.y - self.bounds.min.y) / self.cell_m).floor();
+        let ix = (ix.max(0.0) as usize).min(self.gnx - 1);
+        let iy = (iy.max(0.0) as usize).min(self.gny - 1);
+        (ix, iy)
+    }
+
+    /// The candidate list of global cell `(ix, iy)` — empty for cells
+    /// in unoccupied tiles.
+    #[inline]
+    fn cell(&self, ix: usize, iy: usize) -> &[u32] {
+        match &self.tiles[(iy / TILE_CELLS) * self.tx + ix / TILE_CELLS] {
+            Some(t) => &t.cells[(iy % TILE_CELLS) * TILE_CELLS + ix % TILE_CELLS],
+            None => NO_CANDIDATES,
+        }
+    }
+
+    /// Building indices whose footprint may contain `p` (ascending).
+    /// Points outside the grid return the empty slice.
+    pub fn candidates_point(&self, p: Point) -> &[u32] {
+        if !self.bounds.contains(p) {
+            return NO_CANDIDATES;
+        }
+        let (ix, iy) = self.cell_floor(p);
+        self.cell(ix, iy)
+    }
+
+    /// Visits every global cell the slab-clipped `seg` overlaps — the
+    /// same column walk as the flat index, but cell lookups resolve
+    /// through the tile directory, and a whole run of cells inside an
+    /// unoccupied tile is skipped at tile granularity. Stops early when
+    /// `visit` returns `true`.
+    #[inline]
+    fn for_cells_on_segment(&self, seg: Segment, mut visit: impl FnMut(usize, usize) -> bool) {
+        let min_x = seg.a.x.min(seg.b.x) - EPS;
+        let max_x = seg.a.x.max(seg.b.x) + EPS;
+        let min_y = seg.a.y.min(seg.b.y) - EPS;
+        let max_y = seg.a.y.max(seg.b.y) + EPS;
+        if max_x < self.bounds.min.x
+            || min_x > self.bounds.max.x
+            || max_y < self.bounds.min.y
+            || min_y > self.bounds.max.y
+        {
+            return;
+        }
+        let (ix0, _) = self.cell_floor(Point::new(min_x, min_y));
+        let (ix1, _) = self.cell_floor(Point::new(max_x, max_y));
+        let dx = seg.b.x - seg.a.x;
+        for ix in ix0..=ix1 {
+            let slab_lo = self.bounds.min.x + ix as f64 * self.cell_m - EPS;
+            let slab_hi = slab_lo + self.cell_m + 2.0 * EPS;
+            let (t0, t1) = if dx.abs() > 1e-12 {
+                let ta = (slab_lo - seg.a.x) / dx;
+                let tb = (slab_hi - seg.a.x) / dx;
+                (ta.min(tb).max(0.0), ta.max(tb).min(1.0))
+            } else {
+                (0.0, 1.0)
+            };
+            if t0 > t1 {
+                continue;
+            }
+            let ya = seg.a.y + (seg.b.y - seg.a.y) * t0;
+            let yb = seg.a.y + (seg.b.y - seg.a.y) * t1;
+            let y_lo = ya.min(yb).max(min_y);
+            let y_hi = ya.max(yb).min(max_y);
+            let (_, iy0) = self.cell_floor(Point::new(0.0, y_lo - EPS));
+            let (_, iy1) = self.cell_floor(Point::new(0.0, y_hi + EPS));
+            let tcol = ix / TILE_CELLS;
+            let mut iy = iy0;
+            while iy <= iy1 {
+                // Empty tile: hop straight past its remaining cell rows.
+                if self.tiles[(iy / TILE_CELLS) * self.tx + tcol].is_none() {
+                    iy = (iy / TILE_CELLS + 1) * TILE_CELLS;
+                    continue;
+                }
+                if visit(ix, iy) {
+                    return;
+                }
+                iy += 1;
+            }
+        }
+    }
+
+    /// Collects into `out` the building indices whose footprint may
+    /// touch `seg`, sorted ascending and deduplicated. Conservative —
+    /// same contract as [`crate::index::SpatialIndex::candidates_segment`].
+    pub fn candidates_segment(&self, seg: Segment, out: &mut Vec<u32>) {
+        out.clear();
+        self.for_cells_on_segment(seg, |ix, iy| {
+            out.extend_from_slice(self.cell(ix, iy));
+            false
+        });
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Bitmap form of [`TiledSpatialIndex::candidates_segment`]:
+    /// resizes `words` to [`TiledSpatialIndex::mask_words`] and sets
+    /// one bit per candidate. Unlike the flat index there is no
+    /// precomputed word run per cell — bits are set from the candidate
+    /// lists — so this form is only worthwhile when the caller needs a
+    /// bitmap anyway.
+    pub fn candidates_segment_mask(&self, seg: Segment, words: &mut Vec<u64>) {
+        words.clear();
+        words.resize(self.mask_words(), 0);
+        self.for_cells_on_segment(seg, |ix, iy| {
+            for &bi in self.cell(ix, iy) {
+                words[bi as usize / 64] |= 1u64 << (bi % 64);
+            }
+            false
+        });
+    }
+
+    /// Existence scan: streams candidate building indices to `test` in
+    /// grid-walk order (duplicates possible) and stops the walk as soon
+    /// as `test` returns `true`. Returns whether it did — same contract
+    /// as [`crate::index::SpatialIndex::scan_segment_until`].
+    pub fn scan_segment_until(&self, seg: Segment, mut test: impl FnMut(u32) -> bool) -> bool {
+        let mut hit = false;
+        self.for_cells_on_segment(seg, |ix, iy| {
+            for &bi in self.cell(ix, iy) {
+                if test(bi) {
+                    hit = true;
+                    return true;
+                }
+            }
+            false
+        });
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building::Material;
+    use crate::index::SpatialIndex;
+    use fiveg_simcore::SimRng;
+
+    /// A random city-block layout spanning several tiles, with gaps so
+    /// some tiles stay unoccupied.
+    fn random_city(seed: u64, span_m: f64, n: usize) -> (Rect, Vec<Building>) {
+        let mut rng = SimRng::new(seed);
+        let bounds = Rect::from_origin_size(Point::new(0.0, 0.0), span_m, span_m);
+        let mut bs = Vec::new();
+        for _ in 0..n {
+            // Cluster buildings in the lower-left 60% so upper tiles
+            // stay empty and the tile-skip path is exercised.
+            let x = rng.range_f64(0.0, span_m * 0.6);
+            let y = rng.range_f64(0.0, span_m * 0.6);
+            let w = rng.range_f64(12.0, 70.0);
+            let h = rng.range_f64(12.0, 70.0);
+            let mat = if rng.chance(0.4) {
+                Material::Concrete
+            } else {
+                Material::Brick
+            };
+            bs.push(Building::new(
+                Rect::from_origin_size(Point::new(x, y), w, h),
+                mat,
+                rng.range_f64(10.0, 40.0),
+            ));
+        }
+        (bounds, bs)
+    }
+
+    fn ray(rng: &mut SimRng, span: f64) -> Segment {
+        Segment::new(
+            Point::new(
+                rng.range_f64(-50.0, span + 50.0),
+                rng.range_f64(-50.0, span + 50.0),
+            ),
+            Point::new(
+                rng.range_f64(-50.0, span + 50.0),
+                rng.range_f64(-50.0, span + 50.0),
+            ),
+        )
+    }
+
+    /// Property: tiled candidate sets contain every flat-grid candidate
+    /// (and therefore every true hit), and exact hit results computed
+    /// from them are identical, on random cities and random rays.
+    #[test]
+    fn tiled_candidates_superset_of_flat_and_hits_identical() {
+        for seed in [1u64, 7, 42] {
+            let (bounds, bs) = random_city(seed, 1600.0, 120);
+            let flat = SpatialIndex::build(bounds, &bs);
+            let tiled = TiledSpatialIndex::build(bounds, &bs);
+            assert_eq!(tiled.mask_words(), flat.mask_words());
+            let mut rng = SimRng::new(seed ^ 0xbeef);
+            let (mut fc, mut tc) = (Vec::new(), Vec::new());
+            for _ in 0..300 {
+                let seg = ray(&mut rng, 1600.0);
+                flat.candidates_segment(seg, &mut fc);
+                tiled.candidates_segment(seg, &mut tc);
+                for bi in &fc {
+                    assert!(tc.contains(bi), "seed {seed}: flat candidate {bi} missing");
+                }
+                // Exact hits agree (the caller always re-tests).
+                let hits = |cand: &[u32]| -> Vec<u32> {
+                    cand.iter()
+                        .copied()
+                        .filter(|&bi| bs[bi as usize].blocks(seg))
+                        .collect()
+                };
+                assert_eq!(hits(&fc), hits(&tc), "seed {seed}");
+                assert!(tc.windows(2).all(|w| w[0] < w[1]), "ascending, deduped");
+            }
+        }
+    }
+
+    #[test]
+    fn point_candidates_cover_containment() {
+        let (bounds, bs) = random_city(3, 1600.0, 120);
+        let tiled = TiledSpatialIndex::build(bounds, &bs);
+        for (bi, b) in bs.iter().enumerate() {
+            assert!(tiled
+                .candidates_point(b.footprint.center())
+                .contains(&(bi as u32)));
+        }
+        assert!(tiled
+            .candidates_point(Point::new(-100.0, -100.0))
+            .is_empty());
+        // A point in an empty tile region returns the empty slice.
+        assert!(tiled
+            .candidates_point(Point::new(1590.0, 1590.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn mask_and_scan_forms_match_list_form() {
+        let (bounds, bs) = random_city(11, 1600.0, 120);
+        let tiled = TiledSpatialIndex::build(bounds, &bs);
+        let mut rng = SimRng::new(0xabcd);
+        let (mut cand, mut words) = (Vec::new(), Vec::new());
+        for _ in 0..200 {
+            let seg = ray(&mut rng, 1600.0);
+            tiled.candidates_segment(seg, &mut cand);
+            tiled.candidates_segment_mask(seg, &mut words);
+            let mut from_mask = Vec::new();
+            for (w, &word) in words.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    from_mask.push((w * 64) as u32 + bits.trailing_zeros());
+                    bits &= bits - 1;
+                }
+            }
+            assert_eq!(cand, from_mask);
+            // The streaming scan visits exactly the candidate set (after
+            // dedup) when the test never fires.
+            let mut seen = Vec::new();
+            assert!(!tiled.scan_segment_until(seg, |bi| {
+                seen.push(bi);
+                false
+            }));
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(cand, seen);
+        }
+    }
+
+    #[test]
+    fn empty_tiles_cost_nothing_and_strays_are_indexed() {
+        let bounds = Rect::from_origin_size(Point::new(0.0, 0.0), 3200.0, 3200.0);
+        // Fully inside one 320 m tile (no boundary straddle), outside
+        // the hint bounds.
+        let stray = Building::new(
+            Rect::from_origin_size(Point::new(3300.0, 3300.0), 12.0, 12.0),
+            Material::Brick,
+            12.0,
+        );
+        let tiled = TiledSpatialIndex::build(bounds, &[stray]);
+        let (_, _, occupied) = tiled.tile_stats();
+        assert_eq!(occupied, 1, "one stray building occupies one tile");
+        assert!(tiled
+            .candidates_point(Point::new(3306.0, 3306.0))
+            .contains(&0u32));
+        let mut cand = Vec::new();
+        tiled.candidates_segment(
+            Segment::new(Point::new(0.0, 0.0), Point::new(3600.0, 3600.0)),
+            &mut cand,
+        );
+        assert_eq!(cand, vec![0]);
+    }
+}

@@ -193,20 +193,24 @@ impl PathConfig {
             .unwrap_or(SimDuration::ZERO)
     }
 
-    /// Index of the metro (bottleneck) hop in a paper path.
+    /// Index of the metro (bottleneck) hop in a paper path. Paths from
+    /// [`PathConfig::paper_path`] always carry one; a hand-built path
+    /// without a hop named `metro` falls back to its first hop rather
+    /// than aborting the campaign.
     pub fn metro_hop_index(&self) -> usize {
         self.hops
             .iter()
             .position(|h| h.name == "metro")
-            .expect("paper paths have a metro hop")
+            .unwrap_or_default()
     }
 
-    /// Index of the radio hop in a paper path.
+    /// Index of the radio hop in a paper path, with the same first-hop
+    /// fallback as [`PathConfig::metro_hop_index`].
     pub fn radio_hop_index(&self) -> usize {
         self.hops
             .iter()
             .position(|h| h.name == "radio")
-            .expect("paper paths have a radio hop")
+            .unwrap_or_default()
     }
 
     /// The calibrated cross-traffic for this path's metro hop: ≈700 Mbps

@@ -304,10 +304,7 @@ impl RadioEnv {
                 }
             })
             .collect();
-        let wpc = map.spatial_index().map_or_else(
-            || map.buildings.len().div_ceil(64).max(1),
-            fiveg_geo::SpatialIndex::mask_words,
-        );
+        let wpc = map.mask_words();
         let mut hits = Vec::new();
         let mut sites: Vec<SiteGeom> = Vec::new();
         let mut site_of = vec![0usize; cells.len()];
@@ -574,9 +571,13 @@ impl RadioEnv {
     /// Measures every cell of `tech` at `ue`, with mutual co-channel
     /// interference, sorted by descending RSRP.
     ///
-    /// Thin wrapper over [`RadioEnv::measure_all_into`]; hot callers
-    /// should hold a [`MeasureScratch`] and use the `_into` form to skip
-    /// the per-call allocations.
+    /// Convenience wrapper over [`RadioEnv::measure_all_into`] that
+    /// builds (and throws away) a fresh [`MeasureScratch`] per call, so
+    /// it is **test-only / cold-path**: fine in unit tests, examples
+    /// and one-shot calibration sweeps, but anything called per UE per
+    /// tick (fleet runs, city sweeps, handoff traces) must hold a
+    /// persistent scratch and use the `_into` form — the per-call
+    /// allocations dominate at 100k-UE scale.
     pub fn measure_all(&self, ue: Point, tech: Tech) -> Vec<CellMeasurement> {
         let mut scratch = MeasureScratch::new();
         self.measure_all_into(ue, tech, &mut scratch);

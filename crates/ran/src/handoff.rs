@@ -180,16 +180,14 @@ impl HandoffCampaign {
             });
 
             // Initial LTE attach.
-            if ue.lte_serving.is_none() {
+            let Some(lte_pci) = ue.lte_serving else {
                 if let Some(best) = lte.first() {
                     if best.rsrp >= self.nr_drop_threshold {
                         ue.lte_serving = Some(best.pci);
                     }
                 }
                 continue;
-            }
-
-            let lte_pci = ue.lte_serving.expect("attached above");
+            };
             let Some(lte_srv) = lte.iter().find(|m| m.pci == lte_pci).copied() else {
                 ue.lte_serving = None;
                 continue;
@@ -299,8 +297,8 @@ impl HandoffCampaign {
                     HandoffProcedure::lte_to_lte()
                 };
                 let latency = proc.sample_latency(rng);
-                let (before, after_pci, after_tech) = if kind == HandoffKind::NrToNr {
-                    let nr_pci = ue.nr_serving.expect("on_nr checked");
+                let (before, after_pci, after_tech) = if let Some(nr_pci) = ue.nr_serving {
+                    // `kind == NrToNr` exactly when an NR leg exists.
                     let before = nr
                         .iter()
                         .find(|m| m.pci == nr_pci)

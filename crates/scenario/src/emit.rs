@@ -227,6 +227,16 @@ pub fn emit_scenario(spec: &ScenarioSpec) -> String {
         false,
     );
     e.close('}', true);
+    if let Some(city) = &spec.city {
+        e.open(Some("city"), '{');
+        e.line(&kv_str("preset", &city.preset), true);
+        e.line(&kv_u64("tiles_x", u64::from(city.tiles_x)), true);
+        e.line(&kv_u64("tiles_y", u64::from(city.tiles_y)), true);
+        e.line(&kv_u64("enb_per_tile", u64::from(city.enb_per_tile)), true);
+        e.line(&kv_u64("gnb_per_tile", u64::from(city.gnb_per_tile)), true);
+        e.line(&kv_f64("concrete_fraction", city.concrete_fraction), false);
+        e.close('}', true);
+    }
     e.open(Some("loads"), '{');
     let mut load_lines: Vec<String> = vec![kv_str("period", spec.loads.period.name())];
     if let Some(lte) = spec.loads.lte {
@@ -279,6 +289,7 @@ mod tests {
             name: "paper_campus".into(),
             description: "paper-default road survey".into(),
             campus: CampusSpec::default(),
+            city: None,
             loads: LoadSpec::default(),
             workload: WorkloadSpec::Survey(SurveySpec::default()),
             faults: Vec::new(),
@@ -312,6 +323,40 @@ mod tests {
         // Stable on re-format.
         let again = emit_scenario(&parse_scenario(&text, "mem").expect("parses"));
         assert_eq!(again, text);
+    }
+
+    #[test]
+    fn city_block_round_trips_with_preset_defaults_filled() {
+        // A sparse handwritten city block picks up preset defaults on
+        // parse; the canonical emission is fully concrete and stable.
+        let sparse = r#"{
+  "name": "metro",
+  "city": { "preset": "dense_urban", "tiles_x": 4 },
+  "workload": { "kind": "survey" }
+}"#;
+        let spec = parse_scenario(sparse, "mem").expect("parses");
+        let city = spec.city.as_ref().expect("city block present");
+        assert_eq!(city.tiles_x, 4);
+        assert_eq!(city.tiles_y, 2); // dense_urban preset default
+        assert_eq!(city.enb_per_tile, 4);
+        let text = emit_scenario(&spec);
+        assert!(text.contains("\"preset\": \"dense_urban\""), "{text}");
+        assert!(text.contains("\"tiles_x\": 4"), "{text}");
+        assert!(text.contains("\"gnb_per_tile\": 2"), "{text}");
+        let back = parse_scenario(&text, "mem").expect("canonical parses");
+        assert_eq!(back, spec);
+        assert_eq!(emit_scenario(&back), text);
+    }
+
+    #[test]
+    fn unknown_city_preset_is_rejected_at_parse() {
+        let bad = r#"{
+  "name": "metro",
+  "city": { "preset": "megalopolis" },
+  "workload": { "kind": "survey" }
+}"#;
+        let e = parse_scenario(bad, "mem").expect_err("unknown preset fails");
+        assert!(e.message.contains("unknown city preset"), "{e}");
     }
 
     #[test]

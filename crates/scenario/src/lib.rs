@@ -25,8 +25,8 @@ pub mod variants;
 pub use emit::emit_scenario;
 pub use parse::{parse_scenario, ScenarioError};
 pub use spec::{
-    AppSpec, ArrivalSpec, CampusSpec, FaultSpec, FleetSpec, LoadSpec, MobilitySpec, Period,
-    ScenarioSpec, SceneSpec, SurveySpec, TechSpec, UeGroupSpec, VideoRes, WebCategory,
+    AppSpec, ArrivalSpec, CampusSpec, CityDslSpec, FaultSpec, FleetSpec, LoadSpec, MobilitySpec,
+    Period, ScenarioSpec, SceneSpec, SurveySpec, TechSpec, UeGroupSpec, VideoRes, WebCategory,
     WorkloadSpec,
 };
 pub use variants::{expand, parse_family, Axis, FamilySpec};

@@ -13,8 +13,8 @@
 //! `:`). Structural errors carry exact byte offsets already.
 
 use crate::spec::{
-    AppSpec, ArrivalSpec, CampusSpec, FaultSpec, FleetSpec, LoadSpec, MobilitySpec, Period,
-    ScenarioSpec, SceneSpec, SurveySpec, TechSpec, UeGroupSpec, VideoRes, WebCategory,
+    AppSpec, ArrivalSpec, CampusSpec, CityDslSpec, FaultSpec, FleetSpec, LoadSpec, MobilitySpec,
+    Period, ScenarioSpec, SceneSpec, SurveySpec, TechSpec, UeGroupSpec, VideoRes, WebCategory,
     WorkloadSpec,
 };
 use fiveg_obs::{parse_json, JsonValue};
@@ -257,6 +257,39 @@ fn parse_campus(ctx: &Ctx<'_>, v: &JsonValue) -> Result<CampusSpec, ScenarioErro
         height_m: ctx.f64_or(map, "height_m", d.height_m)?,
         enb_sites: ctx.u32_or(map, "enb_sites", d.enb_sites)?,
         gnb_sites: ctx.u32_or(map, "gnb_sites", d.gnb_sites)?,
+        concrete_fraction: ctx.f64_or(map, "concrete_fraction", d.concrete_fraction)?,
+    })
+}
+
+fn parse_city(ctx: &Ctx<'_>, v: &JsonValue) -> Result<CityDslSpec, ScenarioError> {
+    let map = ctx.obj(v, "`city`", "city")?;
+    ctx.check_keys(
+        map,
+        &[
+            "preset",
+            "tiles_x",
+            "tiles_y",
+            "enb_per_tile",
+            "gnb_per_tile",
+            "concrete_fraction",
+        ],
+        "`city`",
+    )?;
+    let preset = ctx.req_str(map, "preset", "`city`")?;
+    let d = CityDslSpec::from_preset(&preset).ok_or_else(|| {
+        ctx.err_at_key(
+            "preset",
+            format!(
+                "unknown city preset `{preset}` (expected dense_urban, rural or indoor_hotspot)"
+            ),
+        )
+    })?;
+    Ok(CityDslSpec {
+        preset,
+        tiles_x: ctx.u32_or(map, "tiles_x", d.tiles_x)?,
+        tiles_y: ctx.u32_or(map, "tiles_y", d.tiles_y)?,
+        enb_per_tile: ctx.u32_or(map, "enb_per_tile", d.enb_per_tile)?,
+        gnb_per_tile: ctx.u32_or(map, "gnb_per_tile", d.gnb_per_tile)?,
         concrete_fraction: ctx.f64_or(map, "concrete_fraction", d.concrete_fraction)?,
     })
 }
@@ -586,6 +619,7 @@ pub fn scenario_from_value(
             "name",
             "description",
             "campus",
+            "city",
             "loads",
             "workload",
             "faults",
@@ -597,6 +631,10 @@ pub fn scenario_from_value(
     let campus = match map.get("campus") {
         Some(v) => parse_campus(&ctx, v)?,
         None => CampusSpec::default(),
+    };
+    let city = match map.get("city") {
+        Some(v) => Some(parse_city(&ctx, v)?),
+        None => None,
     };
     let loads = match map.get("loads") {
         Some(v) => parse_loads(&ctx, v)?,
@@ -621,6 +659,7 @@ pub fn scenario_from_value(
         name,
         description,
         campus,
+        city,
         loads,
         workload,
         faults,

@@ -38,6 +38,61 @@ impl Default for CampusSpec {
     }
 }
 
+/// Procedural-city generation parameters (the `city` block). When
+/// present the scenario runs on a generated metro city
+/// ([`fiveg_geo::city`]) instead of the single campus block, and the
+/// `campus` block is ignored. All fields are concrete after parsing —
+/// missing keys resolve against the named preset — so canonical
+/// emission is total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityDslSpec {
+    /// Generator preset supplying the tile grammar: `dense_urban`,
+    /// `rural` or `indoor_hotspot`.
+    pub preset: String,
+    /// Tiles east-west.
+    pub tiles_x: u32,
+    /// Tiles north-south.
+    pub tiles_y: u32,
+    /// LTE eNB sites per tile.
+    pub enb_per_tile: u32,
+    /// NR gNB sites per tile (≤ `enb_per_tile`; NSA co-siting).
+    pub gnb_per_tile: u32,
+    /// Fraction of concrete (vs brick) buildings.
+    pub concrete_fraction: f64,
+}
+
+impl CityDslSpec {
+    /// The spec with every field at the preset's defaults, or `None`
+    /// for an unknown preset name.
+    pub fn from_preset(preset: &str) -> Option<CityDslSpec> {
+        let base = fiveg_geo::CitySpec::preset(preset)?;
+        Some(CityDslSpec {
+            preset: preset.to_string(),
+            tiles_x: base.tiles_x as u32,
+            tiles_y: base.tiles_y as u32,
+            enb_per_tile: base.enb_per_tile as u32,
+            gnb_per_tile: base.gnb_per_tile as u32,
+            concrete_fraction: base.concrete_fraction,
+        })
+    }
+
+    /// Resolves to the generator's [`fiveg_geo::CitySpec`]: the preset
+    /// supplies the tile grammar (tile size, block lattice, heights),
+    /// this spec overrides the swept densities.
+    ///
+    /// `None` for an unknown preset ([`ScenarioSpec::validate`]
+    /// rejects those).
+    pub fn to_city_spec(&self) -> Option<fiveg_geo::CitySpec> {
+        let mut spec = fiveg_geo::CitySpec::preset(&self.preset)?;
+        spec.tiles_x = self.tiles_x as usize;
+        spec.tiles_y = self.tiles_y as usize;
+        spec.enb_per_tile = self.enb_per_tile as usize;
+        spec.gnb_per_tile = self.gnb_per_tile as usize;
+        spec.concrete_fraction = self.concrete_fraction;
+        Some(spec)
+    }
+}
+
 /// Time-of-day regime selecting the default interference loads
 /// (Sec. 4.1: 4G busy by day, the early 5G network nearly empty).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -386,8 +441,11 @@ pub struct ScenarioSpec {
     pub name: String,
     /// Free-text description.
     pub description: String,
-    /// Campus generation parameters.
+    /// Campus generation parameters. Ignored when `city` is present.
     pub campus: CampusSpec,
+    /// Procedural-city generation parameters. When present the run
+    /// uses a generated metro city instead of the campus block.
+    pub city: Option<CityDslSpec>,
     /// Interference loads.
     pub loads: LoadSpec,
     /// The workload.
@@ -422,6 +480,15 @@ impl ScenarioSpec {
         }
         if !(0.0..=1.0).contains(&self.campus.concrete_fraction) {
             return Err("campus.concrete_fraction must be in [0, 1]".into());
+        }
+        if let Some(city) = &self.city {
+            let Some(spec) = city.to_city_spec() else {
+                return Err(format!(
+                    "city.preset `{}` is unknown (expected dense_urban, rural or indoor_hotspot)",
+                    city.preset
+                ));
+            };
+            spec.validate().map_err(|e| format!("city: {e}"))?;
         }
         let (lte, nr) = self.loads.resolve();
         if !(0.0..=1.0).contains(&lte) || !(0.0..=1.0).contains(&nr) {
@@ -555,6 +622,7 @@ mod tests {
             name: "t".into(),
             description: String::new(),
             campus: CampusSpec::default(),
+            city: None,
             loads: LoadSpec::default(),
             workload: WorkloadSpec::Survey(SurveySpec::default()),
             faults: Vec::new(),

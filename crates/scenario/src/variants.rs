@@ -49,6 +49,11 @@ pub const PATHS: &[&str] = &[
     "campus.enb_sites",
     "campus.gnb_sites",
     "campus.concrete_fraction",
+    "city.tiles_x",
+    "city.tiles_y",
+    "city.enb_per_tile",
+    "city.gnb_per_tile",
+    "city.concrete_fraction",
     "loads.lte",
     "loads.nr",
     "workload.speed_kmh",
@@ -82,6 +87,24 @@ pub fn set_path(spec: &mut ScenarioSpec, path: &str, value: f64) -> Result<(), S
         "campus.enb_sites" => spec.campus.enb_sites = as_u32(path, value)?,
         "campus.gnb_sites" => spec.campus.gnb_sites = as_u32(path, value)?,
         "campus.concrete_fraction" => spec.campus.concrete_fraction = value,
+        "city.tiles_x"
+        | "city.tiles_y"
+        | "city.enb_per_tile"
+        | "city.gnb_per_tile"
+        | "city.concrete_fraction" => {
+            let Some(city) = &mut spec.city else {
+                return Err(format!(
+                    "`{path}` needs a `city` block in the base scenario"
+                ));
+            };
+            match path {
+                "city.tiles_x" => city.tiles_x = as_u32(path, value)?,
+                "city.tiles_y" => city.tiles_y = as_u32(path, value)?,
+                "city.enb_per_tile" => city.enb_per_tile = as_u32(path, value)?,
+                "city.gnb_per_tile" => city.gnb_per_tile = as_u32(path, value)?,
+                _ => city.concrete_fraction = value,
+            }
+        }
         "loads.lte" => spec.loads.lte = Some(value),
         "loads.nr" => spec.loads.nr = Some(value),
         "workload.speed_kmh" => match &mut spec.workload {
@@ -263,6 +286,7 @@ mod tests {
             name: "sweep".into(),
             description: String::new(),
             campus: CampusSpec::default(),
+            city: None,
             loads: LoadSpec::default(),
             workload: WorkloadSpec::Survey(SurveySpec::default()),
             faults: Vec::new(),

@@ -176,6 +176,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
             name,
             description: String::new(),
             campus,
+            city: None,
             loads,
             workload,
             faults,
@@ -205,7 +206,7 @@ proptest! {
     fn unknown_keys_never_pass(key in "[a-z_]{3,12}", spec in scenario_strategy()) {
         prop_assume!(!matches!(
             key.as_str(),
-            "name" | "description" | "campus" | "loads" | "workload" | "faults"
+            "name" | "description" | "campus" | "city" | "loads" | "workload" | "faults"
         ));
         let text = emit_scenario(&spec);
         // Splice the stray key into the top-level object.
@@ -239,6 +240,7 @@ proptest! {
             name: "w".into(),
             description: String::new(),
             campus: CampusSpec::default(),
+            city: None,
             loads: LoadSpec::default(),
             workload: WorkloadSpec::Survey(SurveySpec::default()),
             faults: vec![fault],

@@ -19,6 +19,7 @@ fn main() {
         name: "authored_demo".to_string(),
         description: "ten walkers + three streamers through an NR outage".to_string(),
         campus: Default::default(),
+        city: None,
         loads: Default::default(),
         workload: WorkloadSpec::Fleet(FleetSpec {
             duration_s: 60,
