@@ -249,3 +249,34 @@ done
 diff <(grep '"json_hash"' target/ci-city-s1/manifest.json) \
      <(grep '"json_hash"' target/ci-city-s8/manifest.json) \
   || { echo "city smoke: manifest fingerprints differ across shard counts" >&2; exit 1; }
+
+# Trace determinism: the flight recorder's byte contract. A full-mode
+# trace of the dense-urban smoke scenario must be byte-identical —
+# binary columns, sidecar schema and manifest trace fingerprints —
+# between (FIVEG_SHARDS=1, --jobs 1) and (FIVEG_SHARDS=8, --jobs 8),
+# and `trace stats` must reconstruct at least one complete per-UE
+# handoff timeline from it. Trace overhead and event/byte counts ride
+# the perf gate above (trace.full / trace.ring micros).
+stage "trace determinism: dense-urban-smoke --trace=full (shards 1 vs 8)"
+rm -rf target/ci-trace-s1 target/ci-trace-s8
+FIVEG_SHARDS=1 FIVEG_SWEEP_THREADS=8 "${REPRO[@]}" "${CITY_JOBS[@]}" --only scenario \
+  --jobs 1 --trace=full --out target/ci-trace-s1 > /dev/null
+FIVEG_SHARDS=8 FIVEG_SWEEP_THREADS=8 "${REPRO[@]}" "${CITY_JOBS[@]}" --only scenario \
+  --jobs 8 --trace=full --out target/ci-trace-s8 > /dev/null
+ls target/ci-trace-s1/*.trace.bin > /dev/null 2>&1 \
+  || { echo "trace determinism: --trace=full produced no .trace.bin artifact" >&2; exit 1; }
+for f in target/ci-trace-s1/*.trace.bin target/ci-trace-s1/*.trace.json; do
+  name=$(basename "$f")
+  cmp "$f" "target/ci-trace-s8/$name" \
+    || { echo "trace determinism: $name differs between FIVEG_SHARDS=1 and =8" >&2; exit 1; }
+done
+grep -q '"trace_hash": "' target/ci-trace-s1/manifest.json \
+  || { echo "trace determinism: no trace fingerprint in the manifest" >&2; exit 1; }
+diff <(grep '"trace_hash"' target/ci-trace-s1/manifest.json) \
+     <(grep '"trace_hash"' target/ci-trace-s8/manifest.json) \
+  || { echo "trace determinism: manifest trace fingerprints differ" >&2; exit 1; }
+cargo run --release -q -p fiveg-trace --bin trace -- \
+  stats target/ci-trace-s1/dense_urban_smoke.trace.bin > target/ci-trace-stats.txt
+grep -q '\[complete\]' target/ci-trace-stats.txt \
+  || { echo "trace determinism: stats reconstructs no complete handoff timeline" >&2;
+       cat target/ci-trace-stats.txt >&2; exit 1; }

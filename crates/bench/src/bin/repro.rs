@@ -40,6 +40,12 @@ Options:
                    compare this run's benchmark report against baseline
                    FILE (implies --bench): counter drift fails, >25%
                    events/sec regression only warns
+  --trace[=MODE]   record a deterministic per-unit event trace; MODE is
+                   `ring` (bounded flight recorder, the default) or
+                   `full`. Writes {job}.trace.bin + {job}.trace.json
+                   (+ .trace.spans.json) next to the artifacts; inspect
+                   with the `trace` binary. Requires a target: --scenario
+                   and/or --only
   --list           list registered jobs and exit
   -h, --help       show this help
 ";
@@ -56,6 +62,7 @@ struct Cli {
     bench: bool,
     bench_out: Option<PathBuf>,
     bench_check: Option<PathBuf>,
+    trace: Option<fiveg_trace::TraceMode>,
     list: bool,
 }
 
@@ -76,6 +83,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         bench: false,
         bench_out: None,
         bench_check: None,
+        trace: None,
         list: false,
     };
     let mut it = args.iter();
@@ -114,10 +122,31 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.bench = true;
                 cli.bench_check = Some(PathBuf::from(value("--bench-check")?));
             }
+            "--trace" => cli.trace = Some(fiveg_trace::TraceMode::Ring),
             "--list" => cli.list = true,
             "-h" | "--help" => return Err(String::new()),
-            other => return Err(format!("unknown flag `{other}`")),
+            other => {
+                if let Some(mode) = other.strip_prefix("--trace=") {
+                    cli.trace = Some(match mode {
+                        "full" => fiveg_trace::TraceMode::Full,
+                        "ring" => fiveg_trace::TraceMode::Ring,
+                        bad => {
+                            return Err(format!(
+                                "--trace: unknown mode `{bad}` (expected `full` or `ring`)"
+                            ))
+                        }
+                    });
+                } else {
+                    return Err(format!("unknown flag `{other}`"));
+                }
+            }
         }
+    }
+    // Tracing the whole registry would record every experiment; require
+    // an explicit target so a stray --trace can't turn a full repro run
+    // into gigabytes of event rows.
+    if cli.trace.is_some() && cli.scenarios.is_empty() && cli.only.is_none() {
+        return Err("--trace requires a target: --scenario FILE and/or --only FILTER".into());
     }
     Ok(cli)
 }
@@ -251,6 +280,9 @@ fn main() -> ExitCode {
     if let Some(f) = &cli.only {
         cfg = cfg.only(f.clone());
     }
+    if let Some(mode) = cli.trace {
+        cfg = cfg.trace(mode);
+    }
 
     eprintln!(
         "fiveg repro — fidelity {}, seed {}, {} workers, output {}",
@@ -323,10 +355,28 @@ fn main() -> ExitCode {
             serial.samples,
             serial.wall_ms as f64 / (sharded.wall_ms.max(1)) as f64
         );
+        let untraced_ms = sharded.wall_ms;
         bench.micro.insert("shard.fleet.serial".to_string(), serial);
         bench
             .micro
             .insert("shard.fleet.sharded".to_string(), sharded);
+        let (trace_full, trace_ring) = fiveg_bench::trace_overhead_micro(cli.seed);
+        let overhead = |traced_ms: u64| {
+            100.0 * (traced_ms as f64 - untraced_ms as f64) / (untraced_ms.max(1)) as f64
+        };
+        eprintln!(
+            "micro trace: full {} ms ({:+.1}%) / ring {} ms ({:+.1}%) vs untraced {} ms; {} events, {} / {} bytes",
+            trace_full.wall_ms,
+            overhead(trace_full.wall_ms),
+            trace_ring.wall_ms,
+            overhead(trace_ring.wall_ms),
+            untraced_ms,
+            trace_full.counters.get("trace.events").copied().unwrap_or(0),
+            trace_full.counters.get("trace.bytes").copied().unwrap_or(0),
+            trace_ring.counters.get("trace.bytes").copied().unwrap_or(0),
+        );
+        bench.micro.insert("trace.full".to_string(), trace_full);
+        bench.micro.insert("trace.ring".to_string(), trace_ring);
         let city = fiveg_bench::city_sweep_micro(cli.seed);
         eprintln!(
             "micro city.sweep.100k: {} samples across the tiled 3x3 dense-urban city in {} ms ({} samples/s)",

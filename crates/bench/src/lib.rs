@@ -10,7 +10,9 @@
 pub mod micro;
 pub mod report;
 
-pub use micro::{city_attach_micro, city_sweep_micro, fleet_shard_micro, phy_sample_micro};
+pub use micro::{
+    city_attach_micro, city_sweep_micro, fleet_shard_micro, phy_sample_micro, trace_overhead_micro,
+};
 pub use report::{
     compare_to_baseline, BenchComparison, BenchJob, BenchReport, BenchTotals, MicroBench,
     BENCH_SCHEMA, THROUGHPUT_WARN_FRACTION,

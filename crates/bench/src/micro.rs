@@ -138,6 +138,71 @@ pub fn fleet_shard_micro(seed: u64) -> (MicroBench, MicroBench) {
     )
 }
 
+/// The `trace.full` / `trace.ring` workload pair: the exact
+/// `shard.fleet.sharded` leg re-run under an active trace scope in
+/// each mode, `finish()` included in the timed region. Returns
+/// `(full, ring)`.
+///
+/// The legs' `trace.events` and `trace.bytes` counters carry the trace
+/// determinism contract into the perf gate: both are seed-pure, so any
+/// drift (an emitter added, a row dropped, the columnar layout changed)
+/// fails the baseline check as counter drift. Wall time against the
+/// untraced `shard.fleet.sharded` row is the advisory overhead signal
+/// (budget: full < 15%, ring < 5%).
+pub fn trace_overhead_micro(seed: u64) -> (MicroBench, MicroBench) {
+    let spec = fiveg_core::scenario_dsl::parse_scenario(FLEET_SCENARIO, "trace-overhead-micro")
+        .unwrap_or_else(|e| panic!("inline micro scenario parses: {e}"));
+    let fleet = match &spec.workload {
+        fiveg_core::scenario_dsl::WorkloadSpec::Fleet(f) => f.clone(),
+        fiveg_core::scenario_dsl::WorkloadSpec::Survey(_) => {
+            unreachable!("the inline micro scenario is a fleet workload")
+        }
+    };
+    let sc = fiveg_core::scenario_run::build_scenario(&spec, seed);
+    let leg = |mode: fiveg_trace::TraceMode| {
+        let m = MetricsHandle::new();
+        let t = fiveg_trace::TraceHandle::new(fiveg_trace::TraceConfig {
+            mode,
+            ..Default::default()
+        });
+        // fiveg-lint: allow(D003) -- microbench wall time; counters carry determinism
+        let start = Instant::now();
+        fiveg_obs::scoped(&m, || {
+            fiveg_trace::scoped(&t, || {
+                std::hint::black_box(fiveg_core::scenario_run::run_fleet_sharded(
+                    &sc,
+                    &spec,
+                    &fleet,
+                    seed ^ 0xf1ee7,
+                    FLEET_SHARDS,
+                ));
+            });
+            // Merge + encode is part of what we are timing; run it
+            // inside the obs scope so trace.events / trace.bytes land
+            // in this leg's counters.
+            std::hint::black_box(t.finish());
+        });
+        let wall = start.elapsed();
+        let counters = m.snapshot().deterministic();
+        let samples = counters.get("scenario.kpi.samples").copied().unwrap_or(0);
+        let samples_per_sec = if wall.as_secs_f64() > 0.0 {
+            (samples as f64 / wall.as_secs_f64()) as u64
+        } else {
+            0
+        };
+        MicroBench {
+            wall_ms: wall.as_millis() as u64,
+            samples,
+            samples_per_sec,
+            counters,
+        }
+    };
+    (
+        leg(fiveg_trace::TraceMode::Full),
+        leg(fiveg_trace::TraceMode::Ring),
+    )
+}
+
 /// Grid spacing for the `city.sweep.100k` workload, metres. On the
 /// 3×3-tile dense-urban city (1200 × 1200 m) this lands the outdoor
 /// sweep near 100 k measurement samples across both techs.
@@ -304,6 +369,24 @@ mod tests {
         let mut sharded_counters = sharded.counters.clone();
         sharded_counters.remove("shard.report.identical");
         assert_eq!(serial.counters, sharded_counters);
+    }
+
+    #[test]
+    fn trace_overhead_micro_is_counter_deterministic() {
+        let (full, ring) = trace_overhead_micro(2020);
+        assert!(full.counters["trace.events"] > 0);
+        // Ring mode keeps a bounded suffix of what full mode keeps.
+        assert_eq!(full.counters["trace.events"], ring.counters["trace.events"]);
+        assert!(full.counters["trace.bytes"] > ring.counters["trace.bytes"]);
+        let (full2, ring2) = trace_overhead_micro(2020);
+        assert_eq!(
+            full.counters, full2.counters,
+            "trace micro must be seed-pure"
+        );
+        assert_eq!(
+            ring.counters, ring2.counters,
+            "trace micro must be seed-pure"
+        );
     }
 
     #[test]

@@ -131,7 +131,9 @@ impl BenchReport {
     /// Pretty JSON rendering (`BTreeMap` keys keep it byte-stable for
     /// identical counter content).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("bench report serialises")
+        // Serialisation of plain data cannot fail; keep the library
+        // panic-free rather than abort a whole campaign on a bug here.
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
     }
 }
 

@@ -16,6 +16,15 @@ pub fn write_run(dir: &Path, report: &RunReport) -> io::Result<usize> {
             let stem = r.artifact_stem();
             fs::write(dir.join(format!("{stem}.txt")), &out.text)?;
             fs::write(dir.join(format!("{stem}.json")), &out.json)?;
+            if let Some(t) = &r.trace {
+                fs::write(dir.join(format!("{stem}.trace.bin")), &t.bin)?;
+                fs::write(dir.join(format!("{stem}.trace.json")), &t.sidecar)?;
+                // Span self-profile is advisory (wall-clock) and not
+                // fingerprinted; the `trace chrome` subcommand reads it.
+                if let Some(snap) = &r.metrics {
+                    fs::write(dir.join(format!("{stem}.trace.spans.json")), snap.to_json())?;
+                }
+            }
             written += 1;
         }
     }

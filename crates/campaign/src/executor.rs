@@ -29,6 +29,10 @@ pub struct RunConfig {
     pub workers: usize,
     /// Substring filter over job names/sections (`--only`).
     pub only: Option<String>,
+    /// Event tracing: when set, every unit runs under a fresh
+    /// `fiveg-trace` sink in this mode and its columnar artifact is
+    /// written/fingerprinted next to the JSON artifact.
+    pub trace: Option<fiveg_trace::TraceMode>,
 }
 
 impl RunConfig {
@@ -39,6 +43,7 @@ impl RunConfig {
             fidelity: FidelityLevel::Quick,
             workers: 1,
             only: None,
+            trace: None,
         }
     }
 
@@ -57,6 +62,12 @@ impl RunConfig {
     /// Restricts the run to jobs matching `filter`.
     pub fn only(mut self, filter: impl Into<String>) -> RunConfig {
         self.only = Some(filter.into());
+        self
+    }
+
+    /// Enables per-unit event tracing in the given mode.
+    pub fn trace(mut self, mode: fiveg_trace::TraceMode) -> RunConfig {
+        self.trace = Some(mode);
         self
     }
 }
@@ -92,6 +103,9 @@ pub struct JobResult {
     /// Metrics recorded by the successful attempt (counters, gauges,
     /// histograms, span timers), when `status == Ok`.
     pub metrics: Option<fiveg_obs::Snapshot>,
+    /// Finished trace artifact, when tracing was enabled and the unit
+    /// succeeded.
+    pub trace: Option<fiveg_trace::TraceOutput>,
 }
 
 impl JobResult {
@@ -194,13 +208,30 @@ fn run_unit(job: &dyn Job, cfg: &RunConfig, rep: u32) -> JobResult {
         // counts out of the retry's metrics; the unit runs entirely on
         // this worker thread, so the thread-local scope sees all of it.
         let metrics = fiveg_obs::MetricsHandle::new();
+        // Like the metrics registry, the trace sink is per attempt so a
+        // failed attempt's partial events never leak into the retry.
+        let trace_sink = cfg.trace.map(|mode| {
+            fiveg_trace::TraceHandle::new(fiveg_trace::TraceConfig {
+                mode,
+                ..fiveg_trace::TraceConfig::default()
+            })
+        });
         match panic::catch_unwind(AssertUnwindSafe(|| {
             fiveg_obs::scoped(&metrics, || {
                 let _timer = fiveg_obs::span("job.run");
-                job.run(&ctx)
+                let run = || job.run(&ctx);
+                match &trace_sink {
+                    Some(t) => fiveg_trace::scoped(t, run),
+                    None => run(),
+                }
             })
         })) {
             Ok(Ok(output)) => {
+                // Finish inside the unit's obs scope so trace.events /
+                // trace.bytes land in this unit's perf block.
+                let trace = trace_sink
+                    .as_ref()
+                    .map(|t| fiveg_obs::scoped(&metrics, || t.finish()));
                 return JobResult {
                     name: job.name().to_string(),
                     section: job.section().to_string(),
@@ -211,6 +242,7 @@ fn run_unit(job: &dyn Job, cfg: &RunConfig, rep: u32) -> JobResult {
                     status: JobStatus::Ok,
                     output: Some(output),
                     metrics: Some(metrics.snapshot()),
+                    trace,
                 };
             }
             Ok(Err(e)) => last_err = e,
@@ -227,6 +259,7 @@ fn run_unit(job: &dyn Job, cfg: &RunConfig, rep: u32) -> JobResult {
         status: JobStatus::Failed(last_err),
         output: None,
         metrics: None,
+        trace: None,
     }
 }
 
@@ -336,6 +369,7 @@ pub fn run(registry: &Registry, cfg: &RunConfig, progress: &mut dyn FnMut(&JobEv
                     ),
                     output: None,
                     metrics: None,
+                    trace: None,
                 }
             })
         })

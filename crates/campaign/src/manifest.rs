@@ -68,6 +68,11 @@ pub struct ManifestJob {
     pub artifact: Option<String>,
     /// FNV-1a fingerprint of the JSON artifact bytes, when produced.
     pub json_hash: Option<String>,
+    /// Trace binary artifact file name, when the unit was traced.
+    pub trace_artifact: Option<String>,
+    /// FNV-1a fingerprint of the trace binary bytes, when produced.
+    /// Deterministic for a fixed seed regardless of shard/thread count.
+    pub trace_hash: Option<String>,
     /// Performance summary, when the unit succeeded (schema ≥ 2).
     pub perf: Option<PerfBlock>,
 }
@@ -106,6 +111,13 @@ impl Manifest {
                     ),
                     None => (None, None),
                 };
+                let (trace_artifact, trace_hash) = match &r.trace {
+                    Some(t) => (
+                        Some(format!("{}.trace.bin", r.artifact_stem())),
+                        Some(hex64(fnv1a64(&t.bin))),
+                    ),
+                    None => (None, None),
+                };
                 ManifestJob {
                     name: r.name.clone(),
                     section: r.section.clone(),
@@ -123,6 +135,8 @@ impl Manifest {
                     wall_ms: r.wall.as_millis() as u64,
                     artifact,
                     json_hash,
+                    trace_artifact,
+                    trace_hash,
                     perf: PerfBlock::from_result(r),
                 }
             })
@@ -139,7 +153,9 @@ impl Manifest {
 
     /// Pretty JSON rendering.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("manifest serialises")
+        // Serialisation of plain data cannot fail; keep the library
+        // panic-free rather than abort a whole campaign on a bug here.
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
     }
 }
 

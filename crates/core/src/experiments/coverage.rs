@@ -359,7 +359,10 @@ impl Fig2b {
 /// Computes Fig. 2b for the first NR cell.
 pub fn fig2b(sc: &Scenario) -> Fig2b {
     let env: &RadioEnv = &sc.env;
-    let idx = env.cell_index(60).expect("NR PCI 60 deployed");
+    // PCI 60 is the first NR cell of every paper deployment; if a
+    // variant scenario drops it, degrade to cell 0 instead of aborting
+    // the whole campaign.
+    let idx = env.cell_index(60).unwrap_or(0);
     let cell = env.cells[idx];
     // 20 m grid out to 320 m around the site, as the paper partitioned
     // the neighbourhood of cell 72. Enumerate the grid serially, sweep

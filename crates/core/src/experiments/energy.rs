@@ -190,7 +190,9 @@ pub fn fig23() -> Fig23 {
             .filter(|(s, ..)| *s == fiveg_energy::machine::RadioState::Active)
             .map(|&(_, _, e)| e)
             .max()
-            .expect("bursts produce transfers");
+            // A burst schedule with no Active interval (empty replay)
+            // has no tail: idle since "now".
+            .unwrap_or(tr.idle_at);
         let tail = tr.idle_at.since(last_active).as_secs_f64();
         (series, tail, tr.energy.joules())
     };

@@ -204,6 +204,7 @@ impl FleetReport {
 }
 
 /// The fault state in force at one instant.
+#[derive(Clone, PartialEq)]
 struct ActiveFaults {
     /// Cells currently down.
     outaged: BTreeSet<u16>,
@@ -717,6 +718,12 @@ impl UeCells<'_> {
             }
         }
         let hysteresis_db = self.faults.hysteresis_db;
+        // Trace context: logical origin = chunk id (invariant under
+        // FIVEG_SHARDS); event time = this Measure event's execution
+        // time (tick start + delta, also shard-count invariant).
+        let trace_on = fiveg_trace::is_active();
+        let trace_origin = ue / crate::par::CHUNK as u32;
+        let t_ns = ctx.now().as_nanos();
         let next = match (current, best) {
             (None, Some(b)) => {
                 if serving_prev.is_some() {
@@ -724,6 +731,30 @@ impl UeCells<'_> {
                     self.group_handoffs[group] += 1;
                     self.total_handoffs += 1;
                     note_storm_handoff(self.spec, t_s, &mut self.fault_impact);
+                    if trace_on {
+                        fiveg_trace::emit(
+                            trace_origin,
+                            &fiveg_trace::TraceEvent::Handoff {
+                                t_ns,
+                                ue,
+                                from_pci: serving_prev.map_or(0, |m| u32::from(m.pci)),
+                                to_pci: u32::from(b.pci),
+                                // Forced move, not a margin race.
+                                margin_db: 0.0,
+                                hysteresis_db,
+                            },
+                        );
+                    }
+                } else if trace_on {
+                    fiveg_trace::emit(
+                        trace_origin,
+                        &fiveg_trace::TraceEvent::Attach {
+                            t_ns,
+                            ue,
+                            pci: u32::from(b.pci),
+                            rsrp_dbm: b.rsrp.value(),
+                        },
+                    );
                 }
                 Some(b)
             }
@@ -732,6 +763,19 @@ impl UeCells<'_> {
                     self.group_handoffs[group] += 1;
                     self.total_handoffs += 1;
                     note_storm_handoff(self.spec, t_s, &mut self.fault_impact);
+                    if trace_on {
+                        fiveg_trace::emit(
+                            trace_origin,
+                            &fiveg_trace::TraceEvent::Handoff {
+                                t_ns,
+                                ue,
+                                from_pci: u32::from(c.pci),
+                                to_pci: u32::from(b.pci),
+                                margin_db: b.rsrp.value() - c.rsrp.value(),
+                                hysteresis_db,
+                            },
+                        );
+                    }
                     Some(b)
                 } else {
                     Some(c)
@@ -797,6 +841,9 @@ struct RouterHub<'a> {
     unattached: Vec<u32>,
     /// Per-cell attach census.
     attached: Vec<u32>,
+    /// Fault state as of the last traced tick boundary, for emitting
+    /// outage/restore/brownout *transition* events.
+    traced_faults: ActiveFaults,
 }
 
 impl RouterHub<'_> {
@@ -806,6 +853,9 @@ impl RouterHub<'_> {
 
     fn on_tick_start(&mut self, ctx: &mut ShardCtx<'_, FleetEvent>, tick: u64) {
         let now = ctx.now();
+        if fiveg_trace::is_active() {
+            self.trace_fault_transitions(tick, now.as_nanos());
+        }
         for (ue, arr) in self.arrival_ticks.iter().enumerate() {
             if *arr <= tick {
                 let ue = ue as u32;
@@ -830,9 +880,51 @@ impl RouterHub<'_> {
         }
     }
 
+    /// Emits outage/restore/brownout-cap deltas between the fault
+    /// state at the previous traced tick and at `tick` (router-hub
+    /// origin, so the stream is shard-count invariant).
+    fn trace_fault_transitions(&mut self, tick: u64, t_ns: u64) {
+        use fiveg_trace::{TraceEvent, ROUTER_ORIGIN};
+        let t_s = tick as f64 * self.tick_s;
+        let active = faults_at(&self.spec.faults, t_s);
+        for pci in active.outaged.difference(&self.traced_faults.outaged) {
+            fiveg_trace::emit(
+                ROUTER_ORIGIN,
+                &TraceEvent::CellOutage {
+                    t_ns,
+                    pci: u32::from(*pci),
+                },
+            );
+        }
+        for pci in self.traced_faults.outaged.difference(&active.outaged) {
+            fiveg_trace::emit(
+                ROUTER_ORIGIN,
+                &TraceEvent::CellRestore {
+                    t_ns,
+                    pci: u32::from(*pci),
+                },
+            );
+        }
+        if active.backhaul_mbps != self.traced_faults.backhaul_mbps {
+            fiveg_trace::emit(
+                ROUTER_ORIGIN,
+                &TraceEvent::BrownoutCap {
+                    t_ns,
+                    // Negative cap encodes "lifted".
+                    cap_mbps: active.backhaul_mbps.unwrap_or(-1.0),
+                },
+            );
+        }
+        self.traced_faults = active;
+    }
+
     fn on_aggregate(&mut self, ctx: &mut ShardCtx<'_, FleetEvent>, tick: u64) {
         let t_s = tick as f64 * self.tick_s;
         let active = faults_at(&self.spec.faults, t_s);
+        // Per-tick KPI rows, subject to the trace sampling rate.
+        let trace_kpi =
+            fiveg_trace::is_active() && tick.is_multiple_of(u64::from(fiveg_trace::sample_rate()));
+        let trace_t_ns = ctx.now().as_nanos();
         // Intents arrive in (origin shard, seq) order; restore the
         // global UE order the serial pass used.
         self.attach.sort_unstable_by_key(|&(ue, ..)| ue);
@@ -866,6 +958,19 @@ impl RouterHub<'_> {
                 self.group_in_service[g] += 1;
             }
             self.group_bitrate[g].push(bitrate);
+            if trace_kpi {
+                fiveg_trace::emit(
+                    fiveg_trace::ROUTER_ORIGIN,
+                    &fiveg_trace::TraceEvent::Kpi {
+                        t_ns: trace_t_ns,
+                        ue,
+                        pci: u32::from(m.pci),
+                        in_service: kpi.in_service,
+                        bitrate_mbps: bitrate,
+                        rsrp_dbm: m.rsrp.value(),
+                    },
+                );
+            }
             ctx.send(
                 self.shard_of(ue),
                 self.delta,
@@ -880,6 +985,20 @@ impl RouterHub<'_> {
         for i in 0..self.unattached.len() {
             let ue = self.unattached[i];
             self.group_bitrate[self.ue_group[ue as usize]].push(0.0);
+            if trace_kpi {
+                // `pci = u32::MAX` marks "no serving cell".
+                fiveg_trace::emit(
+                    fiveg_trace::ROUTER_ORIGIN,
+                    &fiveg_trace::TraceEvent::Kpi {
+                        t_ns: trace_t_ns,
+                        ue,
+                        pci: u32::MAX,
+                        in_service: false,
+                        bitrate_mbps: 0.0,
+                        rsrp_dbm: 0.0,
+                    },
+                );
+            }
             ctx.send(
                 self.shard_of(ue),
                 self.delta,
@@ -1017,6 +1136,23 @@ fn run_fleet_impl(
         Err(e) => panic!("fleet shard topology: {e}"),
     };
 
+    if fiveg_trace::is_active() {
+        // Annotate the sidecar with the fleet's group → UE-index
+        // ranges so the trace CLI can filter by group name.
+        let mut groups = Vec::new();
+        let mut start = 0u32;
+        for g in &fleet.groups {
+            let end = start + g.count;
+            groups.push(fiveg_trace::Group {
+                name: g.name.clone(),
+                start,
+                end,
+            });
+            start = end;
+        }
+        fiveg_trace::set_groups(groups);
+    }
+
     let arrival_ticks: Vec<u64> = ues.iter().map(|u| u.arrival_tick).collect();
     let ue_group: Vec<usize> = ues.iter().map(|u| u.group).collect();
     let mut per_shard: Vec<UeColumns> = (0..shards).map(|_| UeColumns::default()).collect();
@@ -1066,6 +1202,11 @@ fn run_fleet_impl(
         attach: Vec::new(),
         unattached: Vec::new(),
         attached: vec![0; sc.env.cells.len()],
+        traced_faults: ActiveFaults {
+            outaged: BTreeSet::new(),
+            backhaul_mbps: None,
+            hysteresis_db: DEFAULT_HYSTERESIS_DB,
+        },
     }));
 
     let mut engine = match ShardEngine::new(topo, logics) {
@@ -1276,6 +1417,19 @@ impl Job for ScenarioJob {
     }
 
     fn run(&self, ctx: &JobCtx) -> Result<JobOutput, String> {
+        // Apply the spec's `trace` block to the ambient recorder — a
+        // no-op when the run is untraced. Category names were already
+        // validated against the same list by `ScenarioSpec::validate`.
+        if let Some(t) = &self.spec.trace {
+            let mask = t.categories.iter().fold(0u8, |m, c| {
+                m | fiveg_trace::Category::from_name(c).map_or(0, fiveg_trace::Category::bit)
+            });
+            fiveg_trace::configure(|cfg| {
+                cfg.sample = t.sample;
+                cfg.ring = t.ring as usize;
+                cfg.mask = mask;
+            });
+        }
         let sc = build_scenario(&self.spec, ctx.base_seed);
         match &self.spec.workload {
             WorkloadSpec::Survey(s) => {
@@ -1538,6 +1692,7 @@ mod tests {
                     description: String::new(),
                     campus: fiveg_scenario::CampusSpec::default(),
                     city: None,
+                    trace: None,
                     loads: fiveg_scenario::LoadSpec::default(),
                     workload: WorkloadSpec::Fleet(fleet.clone()),
                     faults,
@@ -1551,6 +1706,59 @@ mod tests {
                         serde_json::to_string(&fast).expect("json"),
                         serde_json::to_string(&full).expect("json"),
                         "incremental vs full diverge at shards={}", shards
+                    );
+                }
+            }
+
+            /// Trace artifacts are shard-count invariant: for random
+            /// mobility mixes, fault schedules and seeds, a full-mode
+            /// trace of the same run at 1, 3 and 8 shards produces
+            /// byte-identical binary columns and sidecar.
+            #[test]
+            fn trace_bytes_are_shard_count_invariant(
+                gs in (group_strategy(0), group_strategy(1)),
+                faults in prop::collection::vec(fault_strategy(), 0..3),
+                run_seed in 0u64..1000,
+            ) {
+                let (g0, g1) = gs;
+                let fleet = FleetSpec {
+                    duration_s: 12,
+                    tick_ms: 1000,
+                    groups: vec![g0, g1],
+                };
+                let spec = ScenarioSpec {
+                    name: "traced".into(),
+                    description: String::new(),
+                    campus: fiveg_scenario::CampusSpec::default(),
+                    city: None,
+                    trace: None,
+                    loads: fiveg_scenario::LoadSpec::default(),
+                    workload: WorkloadSpec::Fleet(fleet.clone()),
+                    faults,
+                };
+                prop_assert_eq!(spec.validate(), Ok(()));
+                let sc = paper_sc();
+                let leg = |shards: usize| {
+                    let t = fiveg_trace::TraceHandle::new(fiveg_trace::TraceConfig {
+                        mode: fiveg_trace::TraceMode::Full,
+                        ..Default::default()
+                    });
+                    fiveg_trace::scoped(&t, || {
+                        run_fleet_sharded(sc, &spec, &fleet, run_seed, shards)
+                    });
+                    t.finish()
+                };
+                let base = leg(1);
+                prop_assert!(base.events > 0, "a traced fleet run must emit events");
+                for shards in [3usize, 8] {
+                    let out = leg(shards);
+                    prop_assert_eq!(
+                        &out.bin, &base.bin,
+                        "trace bytes diverge at shards={}", shards
+                    );
+                    prop_assert_eq!(
+                        &out.sidecar, &base.sidecar,
+                        "trace sidecar diverges at shards={}", shards
                     );
                 }
             }

@@ -86,6 +86,7 @@ impl FileCtx {
                     | "energy"
                     | "core"
                     | "campaign"
+                    | "trace"
             )
         )
     }

@@ -89,6 +89,12 @@ impl Ctx<'_> {
         self.now
     }
 
+    /// The flow this callback belongs to. Endpoints use it to label
+    /// trace events (e.g. CC state changes) with a stable flow index.
+    pub fn flow_index(&self) -> u32 {
+        self.flow.0
+    }
+
     /// Injects a data packet onto the forward path.
     pub fn send_packet(&mut self, seq: u64, size: u32, retx: bool) {
         let pkt = Packet {

@@ -835,9 +835,20 @@ impl RadioEnv {
 
     /// Full KPI sample for a given (already measured) serving cell.
     pub fn kpi_for(&self, serving: CellMeasurement, ue: Point, prb_fraction: f64) -> KpiSample {
-        let idx = self
-            .cell_index(serving.pci)
-            .expect("measurement refers to a deployed cell");
+        let Some(idx) = self.cell_index(serving.pci) else {
+            // Unreachable via `kpi_sample_into` (the measurement came
+            // from this env); a foreign PCI degrades to out-of-service
+            // instead of panicking mid-campaign.
+            return KpiSample {
+                pos: ue,
+                indoor: self.map.is_indoor(ue),
+                serving,
+                cqi: 0,
+                mcs: 0,
+                bitrate: BitRate::ZERO,
+                in_service: false,
+            };
+        };
         let carrier = self.cells[idx].carrier;
         let cqi = mcs::cqi_from_sinr(serving.sinr.value());
         let mcs_idx = mcs::mcs_from_cqi(cqi);

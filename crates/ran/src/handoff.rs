@@ -119,6 +119,9 @@ pub struct HandoffCampaign {
     pub nr_add_threshold: Dbm,
     /// RSRP below which the NR leg is released, dBm (service threshold).
     pub nr_drop_threshold: Dbm,
+    /// UE index used to label emitted trace events (callers running
+    /// one campaign per UE set this; defaults to "no UE").
+    pub trace_ue: u32,
     /// How long after completion the "after" RSRQ is sampled.
     pub after_delay: SimDuration,
 }
@@ -130,6 +133,7 @@ impl Default for HandoffCampaign {
             nr_a3: A3Config::paper_nr(),
             nr_add_threshold: Dbm::new(-100.0),
             nr_drop_threshold: Dbm::new(-105.0),
+            trace_ue: fiveg_trace::NO_UE,
             after_delay: SimDuration::from_millis(500),
         }
     }
@@ -144,6 +148,22 @@ struct PendingAfter {
 }
 
 impl HandoffCampaign {
+    /// Emits a handoff trace event mirroring a pushed record, with the
+    /// A3/B1 decision inputs that triggered it; no-op untraced.
+    fn trace_handoff(&self, rec: &HandoffRecord, margin_db: f64, hysteresis_db: f64) {
+        fiveg_trace::emit(
+            0,
+            &fiveg_trace::TraceEvent::Handoff {
+                t_ns: rec.t.as_nanos(),
+                ue: self.trace_ue,
+                from_pci: u32::from(rec.from_pci),
+                to_pci: u32::from(rec.to_pci),
+                margin_db,
+                hysteresis_db,
+            },
+        );
+    }
+
     /// Runs the campaign over a mobility trace, returning the hand-off
     /// log. Records whose "after" RSRQ could not be sampled before the
     /// trace ended are dropped.
@@ -204,7 +224,7 @@ impl HandoffCampaign {
                                 nr.iter().find(|m| m.pci != nr_pci).map(|m| (m.pci, m.rsrq));
                             if let Some(target) = ue.nr_a3.observe(p.t, srv.rsrq, best_neigh) {
                                 let latency = HandoffProcedure::nr_to_nr().sample_latency(rng);
-                                records.push(HandoffRecord {
+                                let rec = HandoffRecord {
                                     t: p.t,
                                     kind: HandoffKind::NrToNr,
                                     from_pci: nr_pci,
@@ -212,7 +232,11 @@ impl HandoffCampaign {
                                     latency,
                                     rsrq_before: srv.rsrq,
                                     rsrq_after: Db::new(0.0),
-                                });
+                                };
+                                let margin =
+                                    best_neigh.map_or(0.0, |(_, q)| q.value() - srv.rsrq.value());
+                                self.trace_handoff(&rec, margin, self.nr_a3.gap_db.value());
+                                records.push(rec);
                                 filled.push(false);
                                 pending.push(PendingAfter {
                                     record_idx: records.len() - 1,
@@ -228,7 +252,7 @@ impl HandoffCampaign {
                             // Coverage lost: vertical 5G→4G fallback.
                             let latency = HandoffProcedure::nr_to_lte().sample_latency(rng);
                             let before = srv.map_or(Db::new(-25.0), |m| m.rsrq);
-                            records.push(HandoffRecord {
+                            let rec = HandoffRecord {
                                 t: p.t,
                                 kind: HandoffKind::NrToLte,
                                 from_pci: nr_pci,
@@ -236,7 +260,11 @@ impl HandoffCampaign {
                                 latency,
                                 rsrq_before: before,
                                 rsrq_after: Db::new(0.0),
-                            });
+                            };
+                            // Threshold-driven fallback, not an A3
+                            // margin race: both inputs are zero.
+                            self.trace_handoff(&rec, 0.0, 0.0);
+                            records.push(rec);
                             filled.push(false);
                             pending.push(PendingAfter {
                                 record_idx: records.len() - 1,
@@ -254,7 +282,7 @@ impl HandoffCampaign {
                     if let Some(best) = nr.first() {
                         if best.rsrp >= self.nr_add_threshold {
                             let latency = HandoffProcedure::lte_to_nr().sample_latency(rng);
-                            records.push(HandoffRecord {
+                            let rec = HandoffRecord {
                                 t: p.t,
                                 kind: HandoffKind::LteToNr,
                                 from_pci: lte_pci,
@@ -262,7 +290,13 @@ impl HandoffCampaign {
                                 latency,
                                 rsrq_before: lte_srv.rsrq,
                                 rsrq_after: Db::new(0.0),
-                            });
+                            };
+                            self.trace_handoff(
+                                &rec,
+                                best.rsrp.value() - self.nr_add_threshold.value(),
+                                0.0,
+                            );
+                            records.push(rec);
                             filled.push(false);
                             pending.push(PendingAfter {
                                 record_idx: records.len() - 1,
@@ -314,7 +348,7 @@ impl HandoffCampaign {
                 } else {
                     (lte_srv.rsrq, target, Tech::Lte)
                 };
-                records.push(HandoffRecord {
+                let rec = HandoffRecord {
                     t: p.t,
                     kind,
                     from_pci: lte_pci,
@@ -322,7 +356,10 @@ impl HandoffCampaign {
                     latency,
                     rsrq_before: before,
                     rsrq_after: Db::new(0.0),
-                });
+                };
+                let margin = best_neigh.map_or(0.0, |(_, q)| q.value() - lte_srv.rsrq.value());
+                self.trace_handoff(&rec, margin, self.lte_a3.gap_db.value());
+                records.push(rec);
                 filled.push(false);
                 pending.push(PendingAfter {
                     record_idx: records.len() - 1,

@@ -26,7 +26,7 @@ pub use emit::emit_scenario;
 pub use parse::{parse_scenario, ScenarioError};
 pub use spec::{
     AppSpec, ArrivalSpec, CampusSpec, CityDslSpec, FaultSpec, FleetSpec, LoadSpec, MobilitySpec,
-    Period, ScenarioSpec, SceneSpec, SurveySpec, TechSpec, UeGroupSpec, VideoRes, WebCategory,
-    WorkloadSpec,
+    Period, ScenarioSpec, SceneSpec, SurveySpec, TechSpec, TraceDslSpec, UeGroupSpec, VideoRes,
+    WebCategory, WorkloadSpec, TRACE_CATEGORIES,
 };
 pub use variants::{expand, parse_family, Axis, FamilySpec};

@@ -93,6 +93,43 @@ impl CityDslSpec {
     }
 }
 
+/// Event categories the trace recorder understands, in mask-bit order.
+/// `shard` (physical shard-message events) is opt-in: it is the one
+/// category whose bytes legitimately vary with `FIVEG_SHARDS`.
+pub const TRACE_CATEGORIES: &[&str] = &["radio", "fault", "kpi", "cc", "shard"];
+
+/// Trace recording parameters (the `trace` block). Configures the
+/// flight recorder when the run is traced (`repro --trace`); without
+/// `--trace` the block is inert. All fields are concrete after parsing
+/// — missing keys resolve to the recorder defaults — so canonical
+/// emission is total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDslSpec {
+    /// KPI sampling stride: one KPI row every `sample` ticks per UE
+    /// (1 = every tick). Sparse event kinds are never sampled down.
+    pub sample: u32,
+    /// Flight-recorder capacity: last `ring` events kept per category
+    /// in ring mode. Ignored by `--trace=full`.
+    pub ring: u32,
+    /// Recorded event categories, a subset of [`TRACE_CATEGORIES`].
+    pub categories: Vec<String>,
+}
+
+impl Default for TraceDslSpec {
+    fn default() -> Self {
+        TraceDslSpec {
+            sample: 1,
+            ring: 1024,
+            // The recorder default: everything except the shard-count
+            // dependent `shard` category.
+            categories: ["radio", "fault", "kpi", "cc"]
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+        }
+    }
+}
+
 /// Time-of-day regime selecting the default interference loads
 /// (Sec. 4.1: 4G busy by day, the early 5G network nearly empty).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -446,6 +483,8 @@ pub struct ScenarioSpec {
     /// Procedural-city generation parameters. When present the run
     /// uses a generated metro city instead of the campus block.
     pub city: Option<CityDslSpec>,
+    /// Trace-recorder overrides, applied when the run is traced.
+    pub trace: Option<TraceDslSpec>,
     /// Interference loads.
     pub loads: LoadSpec,
     /// The workload.
@@ -489,6 +528,30 @@ impl ScenarioSpec {
                 ));
             };
             spec.validate().map_err(|e| format!("city: {e}"))?;
+        }
+        if let Some(t) = &self.trace {
+            if t.sample == 0 {
+                return Err("trace.sample must be at least 1".into());
+            }
+            if t.ring == 0 {
+                return Err("trace.ring must be at least 1".into());
+            }
+            if t.categories.is_empty() {
+                return Err("trace.categories must name at least one category".into());
+            }
+            let mut seen: Vec<&str> = Vec::new();
+            for c in &t.categories {
+                if !TRACE_CATEGORIES.contains(&c.as_str()) {
+                    return Err(format!(
+                        "trace.categories: unknown category `{c}` (expected {})",
+                        TRACE_CATEGORIES.join(", ")
+                    ));
+                }
+                if seen.contains(&c.as_str()) {
+                    return Err(format!("trace.categories: duplicate category `{c}`"));
+                }
+                seen.push(c);
+            }
         }
         let (lte, nr) = self.loads.resolve();
         if !(0.0..=1.0).contains(&lte) || !(0.0..=1.0).contains(&nr) {
@@ -623,6 +686,7 @@ mod tests {
             description: String::new(),
             campus: CampusSpec::default(),
             city: None,
+            trace: None,
             loads: LoadSpec::default(),
             workload: WorkloadSpec::Survey(SurveySpec::default()),
             faults: Vec::new(),

@@ -476,6 +476,16 @@ impl<E> ShardCtx<'_, E> {
             sent_at: self.now,
             msg,
         });
+        // `shard` trace category: physical ids, opt-in only (the
+        // event stream varies with FIVEG_SHARDS by construction).
+        fiveg_trace::emit(
+            self.shard as u32,
+            &fiveg_trace::TraceEvent::ShardMsgSend {
+                t_ns: self.now.as_nanos(),
+                src: self.shard as u32,
+                dst: dst as u32,
+            },
+        );
     }
 
     fn fail(&mut self, e: ShardError) {
@@ -633,6 +643,16 @@ impl<L: ShardLogic> ShardEngine<L> {
             if origin != dst {
                 in_flight[origin * n + dst] = in_flight[origin * n + dst].saturating_sub(1);
                 msgs += 1;
+                // Recv is traced at *execution* time: execution order
+                // is deterministic, mailbox-drain order is not.
+                fiveg_trace::emit(
+                    dst as u32,
+                    &fiveg_trace::TraceEvent::ShardMsgRecv {
+                        t_ns: at.as_nanos(),
+                        src: origin as u32,
+                        dst: dst as u32,
+                    },
+                );
             }
             events += 1;
             let cell = &mut cells[dst];
@@ -800,6 +820,18 @@ impl<L: ShardLogic> ShardEngine<L> {
                     while cell.queue.peek().is_some_and(|k| k.at < end) {
                         let Some(k) = cell.queue.pop() else { break };
                         cell.executed += 1;
+                        if k.origin != cell.id {
+                            // Mirror of the serial path: recv traced
+                            // at execution time for determinism.
+                            fiveg_trace::emit(
+                                cell.id as u32,
+                                &fiveg_trace::TraceEvent::ShardMsgRecv {
+                                    t_ns: k.at.as_nanos(),
+                                    src: k.origin as u32,
+                                    dst: cell.id as u32,
+                                },
+                            );
+                        }
                         let mut ctx = ShardCtx {
                             shard: cell.id,
                             now: k.at,
@@ -830,11 +862,21 @@ impl<L: ShardLogic> ShardEngine<L> {
         // par_map_with pattern); counter merges are commutative adds,
         // hence thread-count invariant.
         let handle = fiveg_obs::current();
+        let trace_handle = fiveg_trace::current();
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| match &handle {
-                    Some(h) => fiveg_obs::scoped(h, worker),
-                    None => worker(),
+                scope.spawn(|| {
+                    let run = || match &handle {
+                        Some(h) => fiveg_obs::scoped(h, worker),
+                        None => worker(),
+                    };
+                    // Trace emission is shared-sink + per-origin
+                    // sequenced, so re-installing the same handle in
+                    // every worker stays thread-count invariant.
+                    match &trace_handle {
+                        Some(t) => fiveg_trace::scoped(t, run),
+                        None => run(),
+                    }
                 });
             }
         });

@@ -1,0 +1,414 @@
+//! `trace` — read-side CLI for fiveg-trace columnar artifacts.
+//!
+//! ```text
+//! trace dump  <stem>[.trace.bin] [--kind NAME] [--ue N] [--group NAME]
+//!                               [--from SEC] [--to SEC] [--limit N]
+//! trace stats <stem>[.trace.bin]
+//! trace chrome <spans.json>
+//! ```
+//!
+//! `<stem>` names a campaign artifact pair `{stem}.trace.bin` +
+//! `{stem}.trace.json` as written by `repro --trace`. `stats` prints
+//! per-kind counts and reconstructs per-UE handoff timelines with
+//! sojourn times (the paper's Fig. 8-style analysis). `chrome`
+//! converts a span-timer self-profile (`{stem}.trace.spans.json`)
+//! into chrome://tracing trace-event JSON.
+
+use std::process::ExitCode;
+
+use fiveg_obs::JsonValue;
+use fiveg_trace::{decode, ColType, Column, Group, Row, KIND_NAMES, NO_UE};
+
+const USAGE: &str = "usage:
+  trace dump  <stem>[.trace.bin] [--kind NAME] [--ue N] [--group NAME] [--from SEC] [--to SEC] [--limit N]
+  trace stats <stem>[.trace.bin]
+  trace chrome <spans.json>
+
+kinds: attach handoff cell_outage cell_restore brownout_cap shard_msg_send shard_msg_recv cc_state kpi";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage_err("missing subcommand"),
+    };
+    let res = match cmd {
+        "dump" => cmd_dump(rest),
+        "stats" => cmd_stats(rest),
+        "chrome" => cmd_chrome(rest),
+        _ => return usage_err(&format!("unknown subcommand `{cmd}`")),
+    };
+    match res {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("trace: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// A loaded trace: merged rows + sidecar metadata.
+struct Loaded {
+    rows: Vec<Row>,
+    groups: Vec<Group>,
+    mode: String,
+    sample: u64,
+}
+
+fn stem_paths(arg: &str) -> (String, String) {
+    let stem = arg.strip_suffix(".trace.bin").unwrap_or(arg);
+    (format!("{stem}.trace.bin"), format!("{stem}.trace.json"))
+}
+
+fn load(arg: &str) -> Result<Loaded, String> {
+    let (bin_path, side_path) = stem_paths(arg);
+    let bin = std::fs::read(&bin_path).map_err(|e| format!("{bin_path}: {e}"))?;
+    let side_text = std::fs::read_to_string(&side_path).map_err(|e| format!("{side_path}: {e}"))?;
+    let side = fiveg_obs::parse_json(&side_text).map_err(|e| format!("{side_path}: {e}"))?;
+    let columns = sidecar_columns(&side).ok_or_else(|| format!("{side_path}: bad `columns`"))?;
+    let table = decode(&bin, &columns).map_err(|e| format!("{bin_path}: {e}"))?;
+    let rows = table
+        .rows
+        .iter()
+        .map(|r| Row {
+            t_ns: r[0],
+            origin: r[1] as u32,
+            seq: r[2] as u32,
+            kind: r[3] as u8,
+            ue: r[4] as u32,
+            a: r[5] as u32,
+            b: r[6] as u32,
+            v0: f64::from_bits(r[7]),
+            v1: f64::from_bits(r[8]),
+        })
+        .collect();
+    let groups = side
+        .get("groups")
+        .and_then(|g| match g {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        })
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|it| {
+                    Some(Group {
+                        name: it.get("name")?.as_str()?.to_string(),
+                        start: it.get("start")?.as_u64()? as u32,
+                        end: it.get("end")?.as_u64()? as u32,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(Loaded {
+        rows,
+        groups,
+        mode: side
+            .get("mode")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string(),
+        sample: side.get("sample").and_then(JsonValue::as_u64).unwrap_or(1),
+    })
+}
+
+fn sidecar_columns(side: &JsonValue) -> Option<Vec<Column>> {
+    let JsonValue::Array(cols) = side.get("columns")? else {
+        return None;
+    };
+    cols.iter()
+        .map(|c| {
+            Some(Column {
+                name: c.get("name")?.as_str()?.to_string(),
+                ty: ColType::from_name(c.get("ty")?.as_str()?)?,
+            })
+        })
+        .collect()
+}
+
+fn kind_name(kind: u8) -> &'static str {
+    KIND_NAMES.get(kind as usize).copied().unwrap_or("?")
+}
+
+fn secs(t_ns: u64) -> f64 {
+    t_ns as f64 / 1e9
+}
+
+fn group_of(groups: &[Group], ue: u32) -> Option<&str> {
+    groups
+        .iter()
+        .find(|g| ue >= g.start && ue < g.end)
+        .map(|g| g.name.as_str())
+}
+
+// -------------------------------------------------------------- dump
+
+struct DumpFilter {
+    kind: Option<u8>,
+    ue: Option<u32>,
+    group: Option<String>,
+    from_s: f64,
+    to_s: f64,
+    limit: usize,
+}
+
+fn cmd_dump(rest: &[String]) -> Result<(), String> {
+    let (target, mut it) = match rest.split_first() {
+        Some((t, r)) => (t, r.iter()),
+        None => return Err(format!("dump: missing <stem>\n{USAGE}")),
+    };
+    let mut f = DumpFilter {
+        kind: None,
+        ue: None,
+        group: None,
+        from_s: f64::NEG_INFINITY,
+        to_s: f64::INFINITY,
+        limit: usize::MAX,
+    };
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("dump: {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--kind" => {
+                let v = val("--kind")?;
+                let k = KIND_NAMES.iter().position(|n| *n == v);
+                f.kind = Some(k.ok_or_else(|| format!("dump: unknown kind `{v}`"))? as u8);
+            }
+            "--ue" => f.ue = Some(parse_num(&val("--ue")?, "--ue")?),
+            "--group" => f.group = Some(val("--group")?),
+            "--from" => f.from_s = parse_f64(&val("--from")?, "--from")?,
+            "--to" => f.to_s = parse_f64(&val("--to")?, "--to")?,
+            "--limit" => f.limit = parse_num::<usize>(&val("--limit")?, "--limit")?,
+            other => return Err(format!("dump: unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let loaded = load(target)?;
+    let mut shown = 0usize;
+    for r in &loaded.rows {
+        if shown >= f.limit {
+            println!("... (limit {} reached)", f.limit);
+            break;
+        }
+        if f.kind.is_some_and(|k| k != r.kind) || f.ue.is_some_and(|u| u != r.ue) {
+            continue;
+        }
+        let t = secs(r.t_ns);
+        if t < f.from_s || t > f.to_s {
+            continue;
+        }
+        if let Some(ref want) = f.group {
+            if group_of(&loaded.groups, r.ue) != Some(want.as_str()) {
+                continue;
+            }
+        }
+        println!("{}", render(r, &loaded.groups));
+        shown += 1;
+    }
+    Ok(())
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("dump: bad {flag} `{s}`"))
+}
+
+fn parse_f64(s: &str, flag: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("dump: bad {flag} `{s}`"))
+}
+
+fn render(r: &Row, groups: &[Group]) -> String {
+    let t = secs(r.t_ns);
+    let who = if r.ue == NO_UE {
+        String::new()
+    } else {
+        match group_of(groups, r.ue) {
+            Some(g) => format!(" ue {} ({g})", r.ue),
+            None => format!(" ue {}", r.ue),
+        }
+    };
+    let detail = match r.kind {
+        0 => format!("pci {} rsrp {:.1} dBm", r.a, r.v0),
+        1 => format!(
+            "pci {} -> {} margin {:.2} dB (hysteresis {:.2} dB)",
+            r.a, r.b, r.v0, r.v1
+        ),
+        2 | 3 => format!("pci {}", r.a),
+        4 => {
+            if r.v0 < 0.0 {
+                "lifted".to_string()
+            } else {
+                format!("cap {:.1} Mbit/s", r.v0)
+            }
+        }
+        5 | 6 => format!("shard {} -> {}", r.a, r.b),
+        7 => format!(
+            "flow {} state {} alg {}",
+            r.ue,
+            ["open", "recovery", "loss"]
+                .get(r.a as usize)
+                .unwrap_or(&"?"),
+            r.b
+        ),
+        _ => format!(
+            "pci {} in_service {} bitrate {:.2} Mbit/s rsrp {:.1} dBm",
+            r.a, r.b, r.v0, r.v1
+        ),
+    };
+    format!("{t:>10.3}s [{:>14}]{} {}", kind_name(r.kind), who, detail)
+}
+
+// ------------------------------------------------------------- stats
+
+fn cmd_stats(rest: &[String]) -> Result<(), String> {
+    let target = rest
+        .first()
+        .ok_or_else(|| format!("stats: missing <stem>\n{USAGE}"))?;
+    let loaded = load(target)?;
+    println!(
+        "mode {}  sample 1/{}  rows {}",
+        loaded.mode,
+        loaded.sample,
+        loaded.rows.len()
+    );
+    let mut counts = [0u64; 9];
+    let (mut t_min, mut t_max) = (u64::MAX, 0u64);
+    for r in &loaded.rows {
+        if let Some(c) = counts.get_mut(r.kind as usize) {
+            *c += 1;
+        }
+        t_min = t_min.min(r.t_ns);
+        t_max = t_max.max(r.t_ns);
+    }
+    if !loaded.rows.is_empty() {
+        println!("window {:.3}s .. {:.3}s", secs(t_min), secs(t_max));
+    }
+    for (k, name) in KIND_NAMES.iter().enumerate() {
+        if counts[k] > 0 {
+            println!("  {name:<16} {}", counts[k]);
+        }
+    }
+    timelines(&loaded);
+    Ok(())
+}
+
+/// Per-UE serving-cell timeline with sojourn times (Fig. 8 style).
+/// A timeline is *complete* when the UE's first radio event is an
+/// attach, so every sojourn has a defined start.
+fn timelines(loaded: &Loaded) {
+    use std::collections::BTreeMap;
+    let mut per_ue: BTreeMap<u32, Vec<&Row>> = BTreeMap::new();
+    for r in &loaded.rows {
+        if (r.kind == 0 || r.kind == 1) && r.ue != NO_UE {
+            per_ue.entry(r.ue).or_default().push(r);
+        }
+    }
+    let with_handoffs = per_ue
+        .iter()
+        .filter(|(_, evs)| evs.iter().any(|r| r.kind == 1))
+        .count();
+    println!(
+        "handoff timelines: {} UEs with radio events, {} with handoffs",
+        per_ue.len(),
+        with_handoffs
+    );
+    let mut shown = 0;
+    for (ue, evs) in &per_ue {
+        if !evs.iter().any(|r| r.kind == 1) {
+            continue;
+        }
+        if shown == 8 {
+            println!("  ... ({} more)", with_handoffs - shown);
+            break;
+        }
+        shown += 1;
+        let complete = evs.first().is_some_and(|r| r.kind == 0);
+        let who = match group_of(&loaded.groups, *ue) {
+            Some(g) => format!("ue {ue} ({g})"),
+            None => format!("ue {ue}"),
+        };
+        let tag = if complete { "complete" } else { "partial" };
+        let mut line = format!("  {who} [{tag}]: ");
+        let mut prev_t: Option<u64> = None;
+        for r in evs {
+            match r.kind {
+                0 => {
+                    line.push_str(&format!("attach pci {} @{:.1}s", r.a, secs(r.t_ns)));
+                    prev_t = Some(r.t_ns);
+                }
+                _ => {
+                    let sojourn = prev_t
+                        .map(|p| format!(" (sojourn {:.1}s)", secs(r.t_ns.saturating_sub(p))))
+                        .unwrap_or_default();
+                    line.push_str(&format!(
+                        " | {} -> {} @{:.1}s{sojourn}",
+                        r.a,
+                        r.b,
+                        secs(r.t_ns)
+                    ));
+                    prev_t = Some(r.t_ns);
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+// ------------------------------------------------------------ chrome
+
+/// Converts an obs span self-profile (the `{stem}.trace.spans.json`
+/// artifact, or any obs snapshot JSON with a `spans` section) into
+/// chrome://tracing trace-event JSON on stdout.
+fn cmd_chrome(rest: &[String]) -> Result<(), String> {
+    let path = rest
+        .first()
+        .ok_or_else(|| format!("chrome: missing <spans.json>\n{USAGE}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snap = fiveg_obs::parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let spans = snap
+        .get("spans")
+        .and_then(JsonValue::as_object)
+        .ok_or_else(|| format!("{path}: no `spans` section"))?;
+    // The vendored serde_json has no `json!` macro; the document is
+    // simple enough to assemble by hand (names only need basic
+    // string escaping).
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut ts = 0.0f64;
+    for (i, (name, sp)) in spans.iter().enumerate() {
+        let total_ns = sp.get("total_ns").and_then(JsonValue::as_u64).unwrap_or(0);
+        let count = sp.get("count").and_then(JsonValue::as_u64).unwrap_or(0);
+        let max_ns = sp.get("max_ns").and_then(JsonValue::as_u64).unwrap_or(0);
+        let dur_us = total_ns as f64 / 1e3;
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":{ts:.3},\"dur\":{dur_us:.3},\"args\":{{\"count\":{count},\"max_ns\":{max_ns}}}}}",
+            escape_json(name)
+        ));
+        ts += dur_us;
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}");
+    println!("{out}");
+    Ok(())
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -37,6 +37,8 @@ pub struct SenderReport {
 /// A TCP sender running one bulk or fixed-size transfer.
 pub struct TcpSender {
     cc: Box<dyn CongestionControl>,
+    /// Index into [`CcAlgorithm::ALL`], for trace-event labelling.
+    alg_code: u32,
     report: Arc<Mutex<SenderReport>>,
     /// Total bytes to send (None = unbounded bulk flow).
     limit: Option<u64>,
@@ -118,6 +120,11 @@ const CWND_SAMPLE_EVERY: SimDuration = SimDuration::from_millis(50);
 /// A hole is declared lost once delivery is SACKed this many bytes
 /// beyond it (the dup-ack threshold, in bytes).
 const REORDER_BYTES: u64 = 3 * MSS_BYTES as u64;
+/// CC trace-event state codes (the `a` column of `cc_state` rows).
+const CC_STATE_OPEN: u32 = 0;
+const CC_STATE_RECOVERY: u32 = 1;
+const CC_STATE_LOSS: u32 = 2;
+
 /// Aux-timer tag for the tail-loss probe.
 const TLP_AUX: u32 = 1;
 /// RACK reordering window floor: segments sent this much earlier than a
@@ -137,6 +144,10 @@ impl TcpSender {
         (
             TcpSender {
                 cc: alg.build(),
+                alg_code: CcAlgorithm::ALL
+                    .iter()
+                    .position(|a| *a == alg)
+                    .unwrap_or_default() as u32,
                 report: report.clone(),
                 limit,
                 snd_nxt: 0,
@@ -237,6 +248,20 @@ impl TcpSender {
     /// their own timer handlers).
     pub fn resume(&mut self, ctx: &mut Ctx) {
         self.try_send(ctx);
+    }
+
+    /// Emits a congestion-control state-change trace event; no-op
+    /// without an ambient trace scope.
+    fn trace_cc_state(&self, ctx: &Ctx, state: u32) {
+        fiveg_trace::emit(
+            0,
+            &fiveg_trace::TraceEvent::CcState {
+                t_ns: ctx.now().as_nanos(),
+                flow: ctx.flow_index(),
+                state,
+                alg: self.alg_code,
+            },
+        );
     }
 
     fn update_rto(&mut self, rtt: SimDuration) {
@@ -552,9 +577,11 @@ impl Endpoint for TcpSender {
             self.recover = self.snd_nxt;
             self.cc.on_loss_event(now);
             self.report.lock().loss_events += 1;
+            self.trace_cc_state(ctx, CC_STATE_RECOVERY);
         }
         if self.in_recovery && ack.cum_ack >= self.recover {
             self.in_recovery = false;
+            self.trace_cc_state(ctx, CC_STATE_OPEN);
         }
 
         // BBR-style delivered counter: in-order plus all out-of-order
@@ -638,6 +665,7 @@ impl Endpoint for TcpSender {
                 self.in_recovery = false;
                 self.cc.on_rto(ctx.now());
                 self.report.lock().rto_count += 1;
+                self.trace_cc_state(ctx, CC_STATE_LOSS);
                 self.arm_rto(ctx);
                 self.try_send(ctx);
             }
