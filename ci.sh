@@ -116,6 +116,31 @@ cargo build --release --workspace
 stage "cargo test (debug profile, debug_assert! active)"
 cargo test -q --workspace
 
+# Opt-in (FIVEG_CI_MIRI=1): the shard kernel's unit tests under miri,
+# which catches UB the type system can't — even with every crate at
+# forbid(unsafe_code), the kernel leans on std sync primitives whose
+# misuse (e.g. a racy Ordering) only miri models. Skips are clean and
+# named so the stage never fails a container without a nightly+miri.
+stage "miri: simcore shard kernel (opt-in)"
+if [[ "${FIVEG_CI_MIRI:-0}" != "1" ]]; then
+  echo "miri: skipped — set FIVEG_CI_MIRI=1 to opt in"
+elif ! command -v rustup > /dev/null 2>&1; then
+  echo "miri: skipped — no rustup on PATH (cannot select a nightly toolchain)"
+elif ! rustup toolchain list 2> /dev/null | grep -q '^nightly'; then
+  echo "miri: skipped — no nightly toolchain installed"
+elif ! rustup component list --toolchain nightly --installed 2> /dev/null | grep -q '^miri'; then
+  echo "miri: skipped — miri component not installed on the nightly toolchain"
+else
+  cargo +nightly miri test -p fiveg-simcore shard
+fi
+
+# Rustdoc as a hard gate: broken intra-doc links or malformed doc
+# fragments are docs-rot the moment they land, and W003 (pub items
+# must be documented) only keeps its teeth if what's written actually
+# renders.
+stage "cargo doc --workspace --no-deps (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --release --workspace --no-deps -q
+
 stage "cargo build --release --examples"
 cargo build --release --workspace --examples
 

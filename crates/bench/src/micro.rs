@@ -79,7 +79,7 @@ const FLEET_SHARDS: usize = 6;
 
 /// The `shard.fleet.serial` / `shard.fleet.sharded` workload pair: one
 /// multi-cell fleet scenario run twice — on the classic single-queue
-/// serial loop (`shards = 1`) and on [`FLEET_SHARDS`] conservative-PDES
+/// serial loop (`shards = 1`) and on `FLEET_SHARDS` conservative-PDES
 /// shards. Returns `(serial, sharded)`.
 ///
 /// The sharded leg's counters carry the determinism contract twice

@@ -2,7 +2,7 @@
 //!
 //! A golden directory holds committed JSON artifacts from a blessed run
 //! (same base seed and fidelity). `check_run` diffs a fresh
-//! [`RunReport`](crate::RunReport) against it: any byte difference,
+//! [`crate::RunReport`] against it: any byte difference,
 //! missing golden file, or failed job is drift, and the caller exits
 //! non-zero.
 

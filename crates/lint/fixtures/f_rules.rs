@@ -1,0 +1,53 @@
+//! lint-fixture-path: crates/core/src/fixture_float.rs
+//!
+//! F-rule positives: order-dependent float reductions inside parallel
+//! regions, and the serial/integer shapes that must stay silent. This
+//! file is never compiled — the self-test only parses it.
+
+fn serial_sum(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x; // serial: reduction order is fixed
+    }
+    acc
+}
+
+fn parallel_hazards(xs: &[f64]) -> f64 {
+    let mut total = 0.0f64;
+    par_map_with(xs, 4, || 0.0, |_, _, x| {
+        total += x; //~ F001
+        let partial: f64 = xs.iter().sum::<f64>(); //~ F001
+        let folded = xs.iter().fold(0.0, |a, b| a + b); //~ F001
+        let mut stats = OnlineStats::new(); //~ F001
+        stats.push(partial + folded);
+    });
+    total
+}
+
+fn scoped_hazard(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            total += xs[0]; //~ F001
+        });
+    });
+    total
+}
+
+fn integer_parallel(xs: &[u64]) -> u64 {
+    let mut n = 0u64;
+    par_map_with(xs, 4, || 0u64, |_, _, x| {
+        n += x; // integer accumulation commutes: no F001
+    });
+    n
+}
+
+fn chunked_and_blessed(xs: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    par_map_with(xs, 4, || 0.0, |_, _, x| {
+        // fiveg-lint: allow(F001) -- fixture: pragma-suppressed accumulation
+        acc += x;
+    });
+    // Combining *after* the join in index order is the sanctioned shape.
+    acc
+}

@@ -1,0 +1,40 @@
+//! lint-fixture-path: crates/geo/src/fixture_docs.rs
+//!
+//! W003 doc-ratchet behaviour: undocumented `pub` items fire; private
+//! items, trait-impl methods and documented surface stay silent. This
+//! file is never compiled — the self-test only parses it.
+
+/// Documented: no finding.
+pub fn documented() {}
+
+pub fn undocumented() {} //~ W003
+
+pub struct Bare; //~ W003
+
+/// Documented struct.
+pub struct Covered {
+    inner: u32,
+}
+
+#[derive(Clone)]
+/// Docs may sit on either side of other attributes.
+pub struct AttrSandwich;
+
+pub(crate) fn crate_visible() {} // pub(crate) is not public API
+
+fn private_helper() {}
+
+impl Display for Covered {
+    // Trait-impl methods are the trait's surface, not new API.
+    fn fmt(&self, f: &mut Formatter<'_>) -> Result {
+        f.write_str("covered")
+    }
+}
+
+// fiveg-lint: allow(W003) -- fixture: pragma-suppressed missing doc
+pub fn grandfathered() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helper() {} // test regions are exempt
+}

@@ -1,0 +1,4 @@
+//! lint ws fixture: a library crate root missing its forbid. //~ W002
+
+/// Documented, so no W003 rides along.
+pub fn scenario_probe() {}

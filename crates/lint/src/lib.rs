@@ -15,15 +15,28 @@
 //! | D005 | no unseeded RNG outside tests |
 //! | U001 | no `unwrap()`/`expect()` in library code |
 //!
+//! On top of the per-file token scan, a workspace-level *semantic*
+//! pass ([`workspace`]) parses every file into an item model
+//! ([`parser`]), resolves a name-based call graph, and enforces the
+//! cross-file rule families: S-rules (shard safety: S001–S003),
+//! F-rules (float determinism: F001) and W-rules (workspace
+//! architecture: W001–W003). See [`workspace`] for the rule semantics
+//! and the declared crate-layering DAG.
+//!
 //! Suppression is explicit — a
 //! `// fiveg-lint: allow(D00x) -- reason` pragma — or grandfathered
 //! through the committed `golden/lint-baseline.json` ratchet, so CI
 //! fails only on *new* findings and the baseline shrinks over time.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod baseline;
+pub mod parser;
 pub mod rules;
 pub mod selftest;
 pub mod tokenizer;
+pub mod workspace;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -48,9 +61,11 @@ pub struct ScanReport {
     pub files: usize,
 }
 
-/// Scans the workspace rooted at `root`. Files are visited in sorted
-/// path order so the report is deterministic; `vendor/`, `target/` and
-/// lint fixture directories are never scanned.
+/// Scans the workspace rooted at `root`: the per-file token rules on
+/// every source file, then the semantic workspace pass (S/F/W rules)
+/// over the whole set plus the crate manifests. Files are visited in
+/// sorted path order so the report is deterministic; `vendor/`,
+/// `target/` and lint fixture directories are never scanned.
 pub fn scan_workspace(root: &Path) -> std::io::Result<ScanReport> {
     let mut files = Vec::new();
     for dir in SCAN_ROOTS {
@@ -58,6 +73,7 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<ScanReport> {
     }
     files.sort();
     let mut report = ScanReport::default();
+    let mut sources: Vec<workspace::SourceFile> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -72,7 +88,12 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<ScanReport> {
         report.findings.extend(findings);
         report.suppressed += suppressed;
         report.files += 1;
+        sources.push(workspace::SourceFile { ctx, src });
     }
+    let manifests = workspace::load_manifests(root)?;
+    let (semantic, suppressed) = workspace::analyze(&sources, &manifests);
+    report.findings.extend(semantic);
+    report.suppressed += suppressed;
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));

@@ -147,6 +147,41 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "malformed fiveg-lint pragma",
         "pragma syntax is `// fiveg-lint: allow(D00x[,D00y]) -- reason`",
     ),
+    (
+        "S001",
+        "obs metric write reachable from a ShardLogic handler outside a Drop flush",
+        "ambient writes under the shard engine are worker-ordered; accumulate in per-origin scratch and flush from Drop",
+    ),
+    (
+        "S002",
+        "FIVEG_* environment read outside core::par / fiveg-campaign",
+        "scattered env reads fork run configuration; read once in core::par or the campaign runner and pass values down",
+    ),
+    (
+        "S003",
+        "mutable static/thread_local state reachable from a ShardLogic handler",
+        "cross-shard shared state orders by worker schedule; key state by logical origin inside the shard instead",
+    ),
+    (
+        "F001",
+        "float accumulation inside a par_map/thread::scope closure",
+        "float reduction order varies with the thread count; accumulate per chunk and combine in a fixed order after the join",
+    ),
+    (
+        "W001",
+        "crate dependency edge outside the declared layering DAG",
+        "add the edge to ALLOWED_DEPS in crates/lint/src/workspace.rs (a reviewed design decision) or drop the dependency",
+    ),
+    (
+        "W002",
+        "library crate missing #![forbid(unsafe_code)]",
+        "add #![forbid(unsafe_code)] to the crate root; sim results must not rest on unchecked memory claims",
+    ),
+    (
+        "W003",
+        "pub item without a rustdoc comment",
+        "document the item or demote it from pub; ratcheted via the baseline like U001 was",
+    ),
 ];
 
 /// True if `id` is a known rule id.
@@ -154,7 +189,8 @@ pub fn rule_exists(id: &str) -> bool {
     RULES.iter().any(|(r, _, _)| *r == id)
 }
 
-fn hint_for(id: &str) -> &'static str {
+/// Fix hint for a rule id (`""` for unknown ids).
+pub fn hint_for(id: &str) -> &'static str {
     RULES
         .iter()
         .find(|(r, _, _)| *r == id)
@@ -331,6 +367,27 @@ fn parse_pragma(body: &str) -> Option<Vec<String>> {
         return None;
     }
     Some(rules)
+}
+
+/// Well-formed pragmas of a source file, as `(line, rules)` pairs, for
+/// passes that run outside [`scan_file`] (the semantic workspace pass).
+/// Malformed pragmas are skipped here — [`scan_file`] already reports
+/// them as L000, and reporting twice would double-count.
+pub fn file_pragmas(src: &str) -> Vec<(u32, Vec<String>)> {
+    let toks = tokenize(src);
+    toks.iter()
+        .filter(|t| t.is_comment())
+        .filter_map(|t| {
+            let rules = parse_pragma(pragma_body(t.text)?)?;
+            Some((t.line, rules))
+        })
+        .collect()
+}
+
+/// `test_regions` computed from raw source, for callers outside this
+/// module that do not hold a token stream.
+pub fn test_regions_of(src: &str) -> Vec<(u32, u32)> {
+    test_regions(&tokenize(src))
 }
 
 /// Line ranges covered by `#[cfg(test)]` / `#[test]` items. After the

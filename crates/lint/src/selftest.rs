@@ -5,12 +5,21 @@
 //! Markers: `//~ RULE [RULE...]` expects those findings on the marker's
 //! own line; `//~^ RULE` on the line above. Fixtures declare the
 //! workspace path they emulate with a `lint-fixture-path:` header so
-//! scoping (sim crate / test file / example) is exercised too. Both
-//! `cargo test -p fiveg-lint` and `fiveg-lint --self-test` run this.
+//! scoping (sim crate / test file / example) is exercised too. Each
+//! fixture runs through *both* engines — the per-file token scan and
+//! the semantic pass (manifest-less, so same-file taint only).
+//!
+//! `fixtures/ws/` holds a miniature workspace (crate directories with
+//! `Cargo.toml` + `src/lib.rs`) exercised through the full
+//! manifest-aware pass: crate-layering (W001, markers as `# //~ W001`
+//! TOML comments), missing-forbid (W002) and cross-crate shard taint
+//! (S001 across a dependency edge). Both `cargo test -p fiveg-lint`
+//! and `fiveg-lint --self-test` run all of this.
 
 use std::path::Path;
 
 use crate::rules::{scan_file, FileCtx, RULES};
+use crate::workspace::{analyze, load_manifests, SourceFile};
 
 /// Runs every `.rs` fixture under `fixtures`. `Ok(checked_count)` when
 /// all match; `Err(messages)` describing each drift otherwise.
@@ -49,8 +58,15 @@ pub fn run(fixtures: &Path) -> Result<usize, Vec<String>> {
             failures.push(format!("{name}: header path `{emulated}` is not scannable"));
             continue;
         };
-        let (findings, _) = scan_file(&ctx, &src);
-        let got: Vec<(u32, &str)> = findings.iter().map(|f| (f.line, f.rule)).collect();
+        let (mut findings, _) = scan_file(&ctx, &src);
+        let file = SourceFile {
+            ctx,
+            src: src.clone(),
+        };
+        let (semantic, _) = analyze(std::slice::from_ref(&file), &[]);
+        findings.extend(semantic);
+        let mut got: Vec<(u32, &str)> = findings.iter().map(|f| (f.line, f.rule)).collect();
+        got.sort_unstable();
         let want = expected_markers(&src);
         checked += 1;
         if got != want {
@@ -74,10 +90,103 @@ pub fn run(fixtures: &Path) -> Result<usize, Vec<String>> {
     if checked == 0 {
         failures.push(format!("no fixtures found in {}", fixtures.display()));
     }
+    let ws_root = fixtures.join("ws");
+    if ws_root.is_dir() {
+        match run_ws(&ws_root) {
+            Ok(n) => checked += n,
+            Err(mut msgs) => failures.append(&mut msgs),
+        }
+    } else {
+        failures.push(format!(
+            "missing ws fixture workspace at {}",
+            ws_root.display()
+        ));
+    }
     if failures.is_empty() {
         Ok(checked)
     } else {
         Err(failures)
+    }
+}
+
+/// Runs the full manifest-aware pass over the miniature fixture
+/// workspace and compares every finding — per-file and semantic —
+/// against the markers in its `.rs` and `Cargo.toml` files.
+fn run_ws(ws_root: &Path) -> Result<usize, Vec<String>> {
+    let manifests = match load_manifests(ws_root) {
+        Ok(m) => m,
+        Err(e) => return Err(vec![format!("ws fixture: cannot load manifests: {e}")]),
+    };
+    let mut want: Vec<(String, u32, &str)> = Vec::new();
+    for m in &manifests {
+        let Ok(text) = std::fs::read_to_string(ws_root.join(&m.rel_path)) else {
+            continue;
+        };
+        for (line, rule) in expected_markers(&text) {
+            want.push((m.rel_path.clone(), line, rule));
+        }
+    }
+    let mut sources = Vec::new();
+    let mut got: Vec<(String, u32, &str)> = Vec::new();
+    let mut rs_files = Vec::new();
+    collect_ws_rs(ws_root, ws_root, &mut rs_files);
+    rs_files.sort();
+    for rel in rs_files {
+        let Ok(src) = std::fs::read_to_string(ws_root.join(&rel)) else {
+            continue;
+        };
+        let Some(ctx) = FileCtx::classify(&rel) else {
+            continue;
+        };
+        for (line, rule) in expected_markers(&src) {
+            want.push((rel.clone(), line, rule));
+        }
+        let (findings, _) = scan_file(&ctx, &src);
+        got.extend(findings.into_iter().map(|f| (f.file, f.line, f.rule)));
+        sources.push(SourceFile { ctx, src });
+    }
+    let files = sources.len();
+    let (semantic, _) = analyze(&sources, &manifests);
+    got.extend(semantic.into_iter().map(|f| (f.file, f.line, f.rule)));
+    got.sort_unstable();
+    want.sort_unstable();
+    if files == 0 {
+        return Err(vec!["ws fixture workspace has no source files".into()]);
+    }
+    if got == want {
+        return Ok(files);
+    }
+    let mut msgs = Vec::new();
+    for (file, line, rule) in &want {
+        if !got.contains(&(file.clone(), *line, rule)) {
+            msgs.push(format!(
+                "ws fixture: missing expected {rule} at {file}:{line}"
+            ));
+        }
+    }
+    for (file, line, rule) in &got {
+        if !want.contains(&(file.clone(), *line, rule)) {
+            msgs.push(format!("ws fixture: unexpected {rule} at {file}:{line}"));
+        }
+    }
+    Err(msgs)
+}
+
+/// Collects `.rs` paths under `dir` as `/`-separated paths relative to
+/// `ws_root`.
+fn collect_ws_rs(ws_root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in rd.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_ws_rs(ws_root, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(ws_root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
     }
 }
 

@@ -194,7 +194,7 @@ impl PathConfig {
     }
 
     /// Index of the metro (bottleneck) hop in a paper path. Paths from
-    /// [`PathConfig::paper_path`] always carry one; a hand-built path
+    /// [`PathConfig::paper`] always carry one; a hand-built path
     /// without a hop named `metro` falls back to its first hop rather
     /// than aborting the campaign.
     pub fn metro_hop_index(&self) -> usize {

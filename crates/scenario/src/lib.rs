@@ -17,6 +17,9 @@
 //! crate's deterministic JSON reader, keeping scenario bytes →
 //! artifact bytes a closed, reproducible loop.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod emit;
 pub mod parse;
 pub mod spec;

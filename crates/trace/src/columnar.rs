@@ -26,11 +26,17 @@ use std::fmt;
 /// Cell type of one column. Width is fixed per type.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ColType {
+    /// 1-byte unsigned cell.
     U8,
+    /// 2-byte unsigned cell.
     U16,
+    /// 4-byte unsigned cell.
     U32,
+    /// 8-byte unsigned cell.
     U64,
+    /// 8-byte signed cell (stored as its two's-complement bits).
     I64,
+    /// 8-byte float cell (stored as its IEEE-754 bits).
     F64,
 }
 
@@ -91,7 +97,9 @@ impl ColType {
 /// Schema of one column.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Column {
+    /// Column name as written to the JSON sidecar.
     pub name: String,
+    /// Cell type (fixes the encoded width).
     pub ty: ColType,
 }
 
@@ -99,17 +107,36 @@ pub struct Column {
 /// row `r`, column `c` (use `f64::to_bits` / `from_bits` for floats).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Table {
+    /// Column schema, in encoded order.
     pub columns: Vec<Column>,
+    /// Row-major cells; each cell is the raw bit pattern for its column.
     pub rows: Vec<Vec<u64>>,
 }
 
 /// Decode failure with enough context to name the corrupt offset.
 #[derive(Debug, PartialEq, Eq)]
 pub enum DecodeError {
+    /// The buffer does not start with the `FVTR0001` magic.
     BadMagic,
-    Truncated { need: usize, have: usize },
-    ColumnCountMismatch { header: u32, schema: usize },
-    TrailingBytes { extra: usize },
+    /// The buffer ends before the declared cells do.
+    Truncated {
+        /// Bytes the header claims.
+        need: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// Header column count disagrees with the sidecar schema.
+    ColumnCountMismatch {
+        /// Count stored in the binary header.
+        header: u32,
+        /// Count in the schema used to decode.
+        schema: usize,
+    },
+    /// Bytes remain after the last declared cell.
+    TrailingBytes {
+        /// How many bytes are left over.
+        extra: usize,
+    },
 }
 
 impl fmt::Display for DecodeError {

@@ -101,44 +101,93 @@ impl Category {
 pub enum TraceEvent {
     /// UE attached to a cell (first attach or re-attach from outage).
     Attach {
+        /// Simulation time, nanoseconds.
         t_ns: u64,
+        /// UE id.
         ue: u32,
+        /// Physical cell id attached to.
         pci: u32,
+        /// RSRP at attach, dBm.
         rsrp_dbm: f64,
     },
     /// Handoff decision, with the hysteresis inputs that triggered it.
     Handoff {
+        /// Simulation time, nanoseconds.
         t_ns: u64,
+        /// UE id.
         ue: u32,
+        /// Serving cell before the handoff.
         from_pci: u32,
+        /// Serving cell after the handoff.
         to_pci: u32,
+        /// RSRP margin of the target over the source, dB.
         margin_db: f64,
+        /// Hysteresis threshold the margin had to clear, dB.
         hysteresis_db: f64,
     },
     /// Cell went down (fault schedule).
-    CellOutage { t_ns: u64, pci: u32 },
+    CellOutage {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Physical cell id that failed.
+        pci: u32,
+    },
     /// Cell came back.
-    CellRestore { t_ns: u64, pci: u32 },
+    CellRestore {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Physical cell id restored.
+        pci: u32,
+    },
     /// Backhaul brownout cap changed; `cap_mbps < 0` means lifted.
-    BrownoutCap { t_ns: u64, cap_mbps: f64 },
+    BrownoutCap {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// New backhaul cap, Mbit/s (negative = cap removed).
+        cap_mbps: f64,
+    },
     /// Shard kernel cross-shard message enqueued (physical ids).
-    ShardMsgSend { t_ns: u64, src: u32, dst: u32 },
+    ShardMsgSend {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Sending shard-local node id.
+        src: u32,
+        /// Receiving shard-local node id.
+        dst: u32,
+    },
     /// Shard kernel cross-shard message executed (physical ids).
-    ShardMsgRecv { t_ns: u64, src: u32, dst: u32 },
+    ShardMsgRecv {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Sending shard-local node id.
+        src: u32,
+        /// Receiving shard-local node id.
+        dst: u32,
+    },
     /// Congestion-control state change: 0 open, 1 recovery, 2 loss/RTO.
     CcState {
+        /// Simulation time, nanoseconds.
         t_ns: u64,
+        /// Flow id.
         flow: u32,
+        /// New state code (0 open, 1 recovery, 2 loss/RTO).
         state: u32,
+        /// Congestion-control algorithm code.
         alg: u32,
     },
     /// Per-tick UE KPI row (subject to the sampling rate).
     Kpi {
+        /// Simulation time, nanoseconds.
         t_ns: u64,
+        /// UE id.
         ue: u32,
+        /// Serving physical cell id.
         pci: u32,
+        /// Whether the UE was in service this tick.
         in_service: bool,
+        /// Delivered application bitrate, Mbit/s.
         bitrate_mbps: f64,
+        /// Serving-cell RSRP, dBm.
         rsrp_dbm: f64,
     },
 }

@@ -26,6 +26,9 @@
 //!   superset of any global suffix, the truncated result equals what a
 //!   single global ring would have kept — for any shard partition.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -59,6 +62,7 @@ impl TraceMode {
 /// Sink configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceConfig {
+    /// Capture mode (full or flight-recorder ring).
     pub mode: TraceMode,
     /// Ring capacity per category (ring mode only).
     pub ring: usize,
@@ -82,20 +86,30 @@ impl Default for TraceConfig {
 /// One merged trace row; field order mirrors the columnar schema.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Row {
+    /// Simulation time, nanoseconds.
     pub t_ns: u64,
+    /// Logical origin (UE/flow/cell id) that emitted the event.
     pub origin: u32,
+    /// Per-origin monotone sequence number (the total-order tiebreak).
     pub seq: u32,
+    /// Event kind code (index into [`event::KIND_NAMES`]).
     pub kind: u8,
+    /// UE id column (kind-specific; 0 when unused).
     pub ue: u32,
+    /// First kind-specific integer column.
     pub a: u32,
+    /// Second kind-specific integer column.
     pub b: u32,
+    /// First kind-specific float column.
     pub v0: f64,
+    /// Second kind-specific float column.
     pub v1: f64,
 }
 
 /// A named UE-index range annotation (fleet groups).
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize)]
 pub struct Group {
+    /// Group name as written to the sidecar.
     pub name: String,
     /// First UE index (inclusive).
     pub start: u32,
@@ -135,7 +149,9 @@ pub struct TraceHandle(Arc<TraceSink>);
 /// Finished trace: the columnar binary plus its JSON sidecar.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceOutput {
+    /// Columnar binary (`FVTR0001` format).
     pub bin: Vec<u8>,
+    /// JSON sidecar describing schema, counts and groups.
     pub sidecar: String,
     /// Rows present in `bin` (post-truncation).
     pub rows: u64,
